@@ -1,0 +1,38 @@
+// Ablation: reorder-threshold sensitivity (paper Section IV-E: "the
+// reordering threshold must be carefully chosen: a value that is too high
+// ... might introduce unnecessary delays for global transactions").
+//
+// WAN 1, 10% globals, sweeping R from 0 (baseline) to 640 at constant
+// load. Expected shape: local p99 falls quickly then flattens; global p99
+// starts rising once the threshold forces globals to wait for deliveries
+// that the workload cannot supply fast enough.
+#include "common.h"
+
+using namespace sdur;
+using namespace sdur::bench;
+
+int main() {
+  print_header("Ablation — reorder threshold sweep (WAN 1, 10% globals)");
+
+  MicroSetup base;
+  base.kind = DeploymentSpec::Kind::kWan1;
+  base.global_fraction = 0.10;
+  const std::uint32_t clients = find_clients(base);
+  std::printf("(constant load: %u clients)\n", clients);
+
+  for (std::uint32_t threshold : {0u, 20u, 40u, 80u, 160u, 320u, 640u}) {
+    MicroSetup setup = base;
+    setup.reorder_threshold = threshold;
+    const RunResult r = run_micro(setup, clients);
+    std::printf(
+        "  R=%4u: local p99=%8.1f ms avg=%7.1f ms | global p99=%8.1f ms avg=%7.1f ms | "
+        "reordered=%llu ticks=%llu\n",
+        threshold, static_cast<double>(r.p99("local")) / 1000.0,
+        static_cast<double>(r.mean("local")) / 1000.0,
+        static_cast<double>(r.p99("global")) / 1000.0,
+        static_cast<double>(r.mean("global")) / 1000.0,
+        static_cast<unsigned long long>(r.servers.reordered),
+        static_cast<unsigned long long>(r.servers.ticks_sent));
+  }
+  return 0;
+}

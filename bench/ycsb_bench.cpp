@@ -1,0 +1,48 @@
+// YCSB-style workloads on SDUR (extension beyond the paper's evaluation):
+// the standard A/B/C mixes over a Zipf-skewed keyspace, on the LAN and
+// WAN 1 deployments. Single-key reads commit locally from a snapshot;
+// updates go through certification.
+#include "common.h"
+#include "workload/ycsb.h"
+
+using namespace sdur;
+using namespace sdur::bench;
+using workload::YcsbConfig;
+using workload::YcsbWorkload;
+
+namespace {
+
+void run_mix(DeploymentSpec::Kind kind, const char* kind_name, YcsbConfig::Mix mix) {
+  YcsbConfig yc;
+  yc.mix = mix;
+  yc.records_per_partition = 50'000;
+
+  DeploymentSpec spec;
+  spec.kind = kind;
+  spec.partitions = 2;
+  spec.partitioning = YcsbWorkload::make_partitioning(2, yc.records_per_partition);
+  Deployment dep(spec);
+  YcsbWorkload wl(yc);
+  const RunResult r = workload::run_experiment(dep, wl, final_config(128));
+
+  std::printf("  %-6s %-14s total=%8.0f ops/s   read p99=%7.1f ms   update p99=%7.1f ms   "
+              "update aborts=%llu\n",
+              kind_name, YcsbConfig::mix_name(mix), r.throughput(),
+              static_cast<double>(r.p99("read")) / 1000.0,
+              static_cast<double>(r.p99("update")) / 1000.0,
+              static_cast<unsigned long long>(
+                  r.classes.count("update") ? r.classes.at("update").aborted : 0));
+}
+
+}  // namespace
+
+int main() {
+  print_header("YCSB-style mixes (Zipf 0.99, 2 partitions, 128 clients)");
+  for (auto mix : {YcsbConfig::Mix::kA, YcsbConfig::Mix::kB, YcsbConfig::Mix::kC}) {
+    run_mix(DeploymentSpec::Kind::kLan, "LAN", mix);
+  }
+  for (auto mix : {YcsbConfig::Mix::kA, YcsbConfig::Mix::kB, YcsbConfig::Mix::kC}) {
+    run_mix(DeploymentSpec::Kind::kWan1, "WAN 1", mix);
+  }
+  return 0;
+}

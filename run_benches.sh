@@ -1,0 +1,12 @@
+#!/bin/bash
+out=/root/repo/bench_output.txt
+: > "$out"
+for b in /root/repo/build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b") ###" >> "$out"
+  start=$SECONDS
+  "$b" >> "$out" 2>&1
+  echo "[wall $((SECONDS-start))s]" >> "$out"
+  echo >> "$out"
+done
+echo "ALL-BENCHES-DONE" >> "$out"

@@ -1,0 +1,502 @@
+#include "paxos/engine.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sdur::paxos {
+
+namespace {
+constexpr std::size_t kMaxCatchupValues = 256;
+constexpr std::uint32_t kBehindHeartbeatsBeforeCatchup = 3;
+
+std::uint64_t value_hash(const Value& v) {
+  return sdur::util::fnv1a(
+      std::string_view(reinterpret_cast<const char*>(v.data()), v.size()));
+}
+}
+
+PaxosEngine::PaxosEngine(sim::Endpoint& endpoint, GroupConfig config,
+                         std::unique_ptr<DurableLog> log, DeliverFn deliver)
+    : ep_(endpoint), cfg_(std::move(config)), log_(std::move(log)), deliver_(std::move(deliver)) {
+  for (std::uint32_t i = 0; i < cfg_.members.size(); ++i) index_of_[cfg_.members[i]] = i;
+  promised_ = log_->load_promise();
+  highest_seen_ = promised_;
+}
+
+void PaxosEngine::start() {
+  started_ = true;
+  last_leader_contact_ = ep_.current_time();
+  if (cfg_.self_index == 0) start_campaign();
+  ep_.start_timer(cfg_.heartbeat_interval / 2, [this] { tick(); });
+}
+
+ProcessId PaxosEngine::leader_hint() const {
+  if (role_ == Role::kLeader) return ep_.self();
+  if (leader_hint_ != 0) return leader_hint_;
+  // Fall back to the proposer of the highest promised ballot, or member 0.
+  if (promised_.valid()) return cfg_.members[promised_.proposer_index() % cfg_.members.size()];
+  return cfg_.members[0];
+}
+
+std::uint32_t PaxosEngine::member_index(ProcessId pid) const {
+  auto it = index_of_.find(pid);
+  return it == index_of_.end() ? 0xFFFFFFFF : it->second;
+}
+
+void PaxosEngine::broadcast(const sim::Message& m) {
+  for (ProcessId pid : cfg_.members) ep_.send_message(pid, m);
+}
+
+Time PaxosEngine::election_deadline() const {
+  // Staggered by member index so candidates do not duel.
+  return last_leader_contact_ + cfg_.election_timeout +
+         static_cast<Time>(cfg_.self_index) * (cfg_.election_timeout / 4);
+}
+
+void PaxosEngine::handle_message(const sim::Message& m, ProcessId from) {
+  util::Reader r(m.payload);
+  switch (m.type) {
+    case msgtype::kPhase1A:
+      on_phase1a(Phase1A::decode(r), from);
+      break;
+    case msgtype::kPhase1B:
+      on_phase1b(Phase1B::decode(r), from);
+      break;
+    case msgtype::kPhase2A:
+      on_phase2a(Phase2A::decode(r), from);
+      break;
+    case msgtype::kPhase2B:
+      on_phase2b(Phase2B::decode(r), from);
+      break;
+    case msgtype::kNack:
+      on_nack(Nack::decode(r));
+      break;
+    case msgtype::kHeartbeat:
+      on_heartbeat(Heartbeat::decode(r), from);
+      break;
+    case msgtype::kForward:
+      on_forward(Forward::decode(r), from);
+      break;
+    case msgtype::kCatchupReq:
+      on_catchup_req(CatchupReq::decode(r), from);
+      break;
+    case msgtype::kCatchupResp:
+      on_catchup_resp(CatchupResp::decode(r));
+      break;
+    case msgtype::kStateTransfer:
+      on_state_transfer(StateTransfer::decode(r));
+      break;
+    default:
+      break;
+  }
+}
+
+// --- Leader election -------------------------------------------------------
+
+void PaxosEngine::start_campaign() {
+  const std::uint64_t round = std::max(highest_seen_.round(), promised_.round()) + 1;
+  const Ballot ballot = Ballot::make(round, cfg_.self_index);
+  role_ = Role::kCandidate;
+  promised_ = ballot;
+  highest_seen_ = ballot;
+  log_->save_promise(ballot);
+  promises_.clear();
+  leader_hint_ = ep_.self();
+  last_leader_contact_ = ep_.current_time();
+  ++stats_.leader_elections;
+  SDUR_DEBUG("paxos") << "campaign ballot=" << ballot.n << " self=" << ep_.self();
+  broadcast(Phase1A{ballot, next_deliver_}.to_message());
+}
+
+void PaxosEngine::on_phase1a(const Phase1A& m, ProcessId from) {
+  highest_seen_ = std::max(highest_seen_, m.ballot);
+  if (m.ballot < promised_) {
+    ep_.send_message(from, Nack{promised_}.to_message());
+    ++stats_.nacks;
+    return;
+  }
+  if (m.ballot > promised_) {
+    promised_ = m.ballot;
+    log_->save_promise(promised_);
+    if (from != ep_.self()) {
+      role_ = Role::kFollower;
+      promises_.clear();
+      open_.clear();
+      leader_hint_ = from;
+    }
+  }
+  last_leader_contact_ = ep_.current_time();
+  Phase1B reply{m.ballot, next_deliver_, {}};
+  for (auto& [inst, rec] : log_->accepted_from(std::min(m.low_instance, next_deliver_))) {
+    reply.entries.push_back(AcceptedEntry{inst, rec.ballot, rec.value});
+  }
+  // Persist-before-ack: the promise hits the log before the reply leaves.
+  ep_.start_timer(cfg_.log_write_latency,
+                  [this, from, msg = reply.to_message()]() { ep_.send_message(from, msg); });
+}
+
+void PaxosEngine::on_phase1b(const Phase1B& m, ProcessId from) {
+  if (role_ != Role::kCandidate || m.ballot != promised_) return;
+  const std::uint32_t idx = member_index(from);
+  if (idx == 0xFFFFFFFF) return;
+  promises_[idx] = m;
+  if (promises_.size() >= cfg_.quorum()) become_leader();
+}
+
+void PaxosEngine::become_leader() {
+  role_ = Role::kLeader;
+  leader_hint_ = ep_.self();
+  SDUR_INFO("paxos") << "leader self=" << ep_.self() << " ballot=" << promised_.n;
+
+  // Re-propose the highest-ballot accepted value for every instance at or
+  // above our decided prefix; fill gaps with no-ops so delivery can proceed.
+  std::map<InstanceId, AcceptedEntry> best;
+  for (const auto& [idx, promise] : promises_) {
+    for (const auto& e : promise.entries) {
+      if (e.instance < next_deliver_) continue;
+      auto it = best.find(e.instance);
+      if (it == best.end() || e.ballot > it->second.ballot) best[e.instance] = e;
+    }
+  }
+  InstanceId max_inst = next_deliver_ == 0 ? 0 : next_deliver_ - 1;
+  bool any = false;
+  if (!best.empty()) {
+    max_inst = best.rbegin()->first;
+    any = true;
+  }
+  next_instance_ = any ? max_inst + 1 : next_deliver_;
+  open_.clear();
+  for (InstanceId inst = next_deliver_; any && inst <= max_inst; ++inst) {
+    auto it = best.find(inst);
+    Value v = it != best.end() ? it->second.value : encode_batch({});
+    open_instance(inst, std::move(v));
+  }
+  // If the quorum's decided prefix is ahead of ours (we recovered from far
+  // behind and the others checkpointed away the log we missed), pull the
+  // gap explicitly — it will arrive as decided values or a state transfer.
+  InstanceId quorum_decided = next_deliver_;
+  ProcessId most_advanced = ep_.self();
+  for (const auto& [idx, promise] : promises_) {
+    if (promise.next_deliver > quorum_decided) {
+      quorum_decided = promise.next_deliver;
+      most_advanced = cfg_.members[idx];
+    }
+  }
+  if (quorum_decided > next_deliver_) {
+    ep_.send_message(most_advanced, CatchupReq{next_deliver_}.to_message());
+  }
+  next_instance_ = std::max(next_instance_, quorum_decided);
+  promises_.clear();
+  broadcast(Heartbeat{promised_, next_deliver_}.to_message());
+  maybe_propose();
+}
+
+void PaxosEngine::step_down(Ballot seen) {
+  highest_seen_ = std::max(highest_seen_, seen);
+  if (role_ == Role::kFollower) return;
+  SDUR_DEBUG("paxos") << "step down self=" << ep_.self();
+  role_ = Role::kFollower;
+  promises_.clear();
+  open_.clear();
+  last_leader_contact_ = ep_.current_time();
+}
+
+void PaxosEngine::on_nack(const Nack& m) {
+  highest_seen_ = std::max(highest_seen_, m.promised);
+  if (role_ != Role::kFollower && m.promised > promised_) step_down(m.promised);
+}
+
+void PaxosEngine::on_heartbeat(const Heartbeat& m, ProcessId from) {
+  highest_seen_ = std::max(highest_seen_, m.ballot);
+  if (m.ballot < promised_) return;
+  if (m.ballot > promised_) {
+    promised_ = m.ballot;
+    log_->save_promise(promised_);
+    if (role_ != Role::kFollower) step_down(m.ballot);
+  }
+  if (from != ep_.self()) {
+    leader_hint_ = from;
+    last_leader_contact_ = ep_.current_time();
+    if (role_ != Role::kFollower && m.ballot == promised_ &&
+        promised_.proposer_index() != cfg_.self_index) {
+      step_down(m.ballot);
+    }
+    // Flush any values buffered while leaderless.
+    if (!pending_.empty()) {
+      for (auto& v : pending_) ep_.send_message(from, Forward{std::move(v)}.to_message());
+      pending_.clear();
+    }
+    if (m.decided_upto > next_deliver_) {
+      ++behind_heartbeats_;
+      if (m.decided_upto > next_deliver_ + cfg_.catchup_threshold ||
+          behind_heartbeats_ >= kBehindHeartbeatsBeforeCatchup) {
+        behind_heartbeats_ = 0;
+        ep_.send_message(from, CatchupReq{next_deliver_}.to_message());
+      }
+    } else {
+      behind_heartbeats_ = 0;
+      if (m.decided_upto < next_deliver_) {
+        // The leader itself is behind us (it won an election right after
+        // recovering from far behind): push it the tail or a checkpoint.
+        on_catchup_req(CatchupReq{m.decided_upto}, from);
+      }
+    }
+  }
+}
+
+// --- Phase 2 ----------------------------------------------------------------
+
+void PaxosEngine::propose(Value v) {
+  auto& entry = submitted_[value_hash(v)];
+  if (entry.count == 0) entry.value = v;
+  ++entry.count;
+  entry.submitted_at = ep_.current_time();
+  on_forward(Forward{std::move(v)}, ep_.self());
+}
+
+bool PaxosEngine::value_in_flight(std::uint64_t hash) const {
+  for (const Value& v : pending_) {
+    if (value_hash(v) == hash) return true;
+  }
+  for (const auto& [inst, oi] : open_) {
+    for (const Value& v : decode_batch(oi.value)) {
+      if (value_hash(v) == hash) return true;
+    }
+  }
+  return false;
+}
+
+void PaxosEngine::on_forward(Forward m, ProcessId from) {
+  (void)from;
+  pending_.push_back(std::move(m.value));
+  if (role_ == Role::kLeader) {
+    maybe_propose();
+    return;
+  }
+  const ProcessId hint = leader_hint();
+  if (hint != ep_.self()) {
+    for (auto& v : pending_) ep_.send_message(hint, Forward{std::move(v)}.to_message());
+    pending_.clear();
+  }
+  // Otherwise keep buffering until a leader is known (flushed on heartbeat).
+}
+
+void PaxosEngine::maybe_propose() {
+  while (role_ == Role::kLeader && !pending_.empty() && open_.size() < cfg_.pipeline_window) {
+    std::vector<Value> batch;
+    while (!pending_.empty() && batch.size() < cfg_.max_batch) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    open_instance(next_instance_++, encode_batch(batch));
+  }
+}
+
+void PaxosEngine::open_instance(InstanceId inst, Value value) {
+  open_[inst] = OpenInstance{value, ep_.current_time()};
+  ++stats_.proposed_batches;
+  broadcast(Phase2A{promised_, inst, std::move(value)}.to_message());
+}
+
+void PaxosEngine::on_phase2a(const Phase2A& m, ProcessId from) {
+  highest_seen_ = std::max(highest_seen_, m.ballot);
+  if (m.ballot < promised_) {
+    ep_.send_message(from, Nack{promised_}.to_message());
+    ++stats_.nacks;
+    return;
+  }
+  if (m.ballot > promised_) {
+    promised_ = m.ballot;
+    log_->save_promise(promised_);
+    if (role_ != Role::kFollower && from != ep_.self()) step_down(m.ballot);
+  }
+  if (from != ep_.self()) {
+    leader_hint_ = from;
+    last_leader_contact_ = ep_.current_time();
+  }
+  if (m.instance < next_deliver_) {
+    // Already decided and delivered here: the proposer is a stale leader
+    // catching up after isolation/recovery — feed it the decisions instead
+    // of silently ignoring, or its re-proposals would never gain a quorum.
+    on_catchup_req(CatchupReq{m.instance}, from);
+    return;
+  }
+  log_->save_accepted(m.instance, m.ballot, m.value);
+  // Persist-before-ack, then let every member learn.
+  const Phase2B ack{m.ballot, m.instance, cfg_.self_index};
+  ep_.start_timer(cfg_.log_write_latency,
+                  [this, msg = ack.to_message()]() { broadcast(msg); });
+}
+
+void PaxosEngine::record_ack(InstanceId inst, Ballot b, std::uint32_t acceptor_index) {
+  auto& st = acks_[inst];
+  if (b > st.ballot) {
+    st.ballot = b;
+    st.mask = 0;
+  }
+  if (b < st.ballot || acceptor_index >= 64) return;
+  st.mask |= 1ULL << acceptor_index;
+  if (static_cast<std::size_t>(std::popcount(st.mask)) >= cfg_.quorum()) {
+    // Quorum reached: the decided value is whatever we accepted at this
+    // ballot. If we have not accepted it (lost Phase 2A), catchup will
+    // bring the decision later.
+    auto rec = log_->load_accepted(inst);
+    if (rec && rec->ballot == st.ballot) {
+      Value v = rec->value;
+      decide(inst, std::move(v));
+    }
+  }
+}
+
+void PaxosEngine::on_phase2b(const Phase2B& m, ProcessId from) {
+  (void)from;
+  if (m.instance < next_deliver_ || undelivered_.contains(m.instance)) return;
+  record_ack(m.instance, m.ballot, m.acceptor_index);
+}
+
+void PaxosEngine::decide(InstanceId inst, Value value) {
+  if (inst < next_deliver_ || undelivered_.contains(inst)) return;
+  log_->save_decided(inst, value);
+  undelivered_[inst] = std::move(value);
+  acks_.erase(inst);
+  ++stats_.decided_instances;
+  if (role_ == Role::kLeader) open_.erase(inst);
+  try_deliver();
+  if (role_ == Role::kLeader) maybe_propose();
+}
+
+void PaxosEngine::try_deliver() {
+  while (true) {
+    auto it = undelivered_.find(next_deliver_);
+    if (it == undelivered_.end()) break;
+    for (const Value& v : decode_batch(it->second)) {
+      ++stats_.delivered_values;
+      auto sub = submitted_.find(value_hash(v));
+      if (sub != submitted_.end() && --sub->second.count == 0) submitted_.erase(sub);
+      deliver_(v);
+    }
+    undelivered_.erase(it);
+    ++next_deliver_;
+  }
+}
+
+// --- Catchup ----------------------------------------------------------------
+
+void PaxosEngine::save_checkpoint(Value app_state) {
+  ++stats_.checkpoints;
+  log_->save_checkpoint(app_state, next_deliver_);
+  log_->truncate_below(next_deliver_);
+}
+
+void PaxosEngine::on_state_transfer(const StateTransfer& m) {
+  if (m.resume_at <= next_deliver_ || !install_) return;
+  ++stats_.state_transfers_installed;
+  install_(m.app_state);
+  // The checkpoint subsumes our log prefix: persist it and resume from the
+  // transfer point.
+  log_->save_checkpoint(m.app_state, m.resume_at);
+  log_->truncate_below(m.resume_at);
+  next_deliver_ = m.resume_at;
+  next_instance_ = std::max(next_instance_, next_deliver_);
+  undelivered_.erase(undelivered_.begin(), undelivered_.lower_bound(next_deliver_));
+  acks_.erase(acks_.begin(), acks_.lower_bound(next_deliver_));
+  open_.erase(open_.begin(), open_.lower_bound(next_deliver_));
+  try_deliver();
+}
+
+void PaxosEngine::on_catchup_req(const CatchupReq& m, ProcessId from) {
+  if (m.from_instance < log_->first_retained()) {
+    // The requested prefix was truncated; ship the covering checkpoint.
+    if (const auto cp = log_->load_checkpoint(); cp && cp->second > m.from_instance) {
+      ++stats_.state_transfers_sent;
+      ep_.send_message(from, StateTransfer{cp->second, cp->first}.to_message());
+      return;
+    }
+  }
+  CatchupResp resp;
+  resp.first_instance = m.from_instance;
+  for (InstanceId inst = m.from_instance; resp.values.size() < kMaxCatchupValues; ++inst) {
+    auto v = log_->load_decided(inst);
+    if (!v) break;
+    resp.values.push_back(std::move(*v));
+  }
+  if (!resp.values.empty()) ep_.send_message(from, resp.to_message());
+}
+
+void PaxosEngine::on_catchup_resp(const CatchupResp& m) {
+  for (std::size_t i = 0; i < m.values.size(); ++i) {
+    decide(m.first_instance + i, m.values[i]);
+  }
+}
+
+// --- Timers -----------------------------------------------------------------
+
+void PaxosEngine::tick() {
+  const Time now = ep_.current_time();
+  if (role_ == Role::kLeader) {
+    broadcast(Heartbeat{promised_, next_deliver_}.to_message());
+    // Re-drive instances whose acknowledgements got lost.
+    const Time resend_after = cfg_.election_timeout / 2;
+    for (auto& [inst, oi] : open_) {
+      if (now - oi.proposed_at >= resend_after) {
+        oi.proposed_at = now;
+        ++stats_.resends;
+        broadcast(Phase2A{promised_, inst, oi.value}.to_message());
+      }
+    }
+  } else if (now >= election_deadline()) {
+    start_campaign();
+  }
+  // Re-drive values submitted here that still have not been delivered
+  // (lost forward, or a leader crashed with them in flight) — unless the
+  // value is already in this replica's own pending queue or an open
+  // instance (then the instance resend above re-drives it and resubmitting
+  // would only create duplicates).
+  for (auto& [hash, sub] : submitted_) {
+    if (now - sub.submitted_at < cfg_.election_timeout) continue;
+    sub.submitted_at = now;
+    if (value_in_flight(hash)) continue;
+    ++stats_.resends;
+    on_forward(Forward{sub.value}, ep_.self());
+  }
+  ep_.start_timer(cfg_.heartbeat_interval / 2, [this] { tick(); });
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+void PaxosEngine::on_recover() {
+  role_ = Role::kFollower;
+  promises_.clear();
+  open_.clear();
+  pending_.clear();
+  acks_.clear();
+  undelivered_.clear();
+  submitted_.clear();
+  behind_heartbeats_ = 0;
+  promised_ = log_->load_promise();
+  highest_seen_ = promised_;
+  leader_hint_ = 0;
+  last_leader_contact_ = ep_.current_time();
+  // Restore the latest checkpoint (if any), then redeliver the decided
+  // tail so the application rebuilds its state deterministically; anything
+  // beyond the contiguous prefix comes via catchup.
+  next_deliver_ = 0;
+  if (const auto cp = log_->load_checkpoint()) {
+    if (install_) {
+      install_(cp->first);
+      next_deliver_ = cp->second;
+    }
+  }
+  for (InstanceId inst = next_deliver_;; ++inst) {
+    auto v = log_->load_decided(inst);
+    if (!v) break;
+    undelivered_[inst] = std::move(*v);
+  }
+  try_deliver();
+  ep_.start_timer(cfg_.heartbeat_interval / 2, [this] { tick(); });
+}
+
+}  // namespace sdur::paxos

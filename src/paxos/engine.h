@@ -1,0 +1,182 @@
+// Multi-Paxos atomic broadcast engine for one replica group.
+//
+// One engine instance runs per server per partition; together the group's
+// engines implement the abcast/adeliver primitive of the paper (Section
+// II-A): all correct group members deliver the same values in the same
+// order, tolerating f < n/2 crash failures.
+//
+// Protocol structure (classic Multi-Paxos with a stable leader):
+//  - Leader election: the leader sends heartbeats; a follower that misses
+//    them starts Phase 1 with a higher ballot (staggered by member index
+//    to avoid dueling candidates).
+//  - Phase 1 runs once per leadership change over all instances >= the
+//    candidate's decided prefix; the new leader re-proposes the
+//    highest-ballot accepted value per instance and fills gaps with no-ops.
+//  - Phase 2: the leader batches forwarded values (up to max_batch per
+//    instance) and pipelines up to pipeline_window open instances.
+//    Acceptors persist to the durable log before acknowledging, and
+//    broadcast Phase 2B to *all* members so every replica learns a decision
+//    two message delays after the proposal (this is the 4-delta local
+//    termination path of the paper's Figure 1).
+//  - Lagging replicas catch up from the leader's decided log.
+//
+// Values are opaque bytes. Delivery is exactly-ordered but, as with any
+// forwarding-based broadcast, a value can be delivered more than once after
+// leader changes; the layer above deduplicates by transaction id.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "paxos/durable_log.h"
+#include "paxos/messages.h"
+#include "paxos/types.h"
+#include "sim/endpoint.h"
+
+namespace sdur::paxos {
+
+class PaxosEngine {
+ public:
+  /// Called once per delivered value, in delivery order.
+  using DeliverFn = std::function<void(const Value&)>;
+  /// Called to install a full application checkpoint (state transfer /
+  /// recovery); replaces all application state derived from the log.
+  using InstallFn = std::function<void(const Value&)>;
+
+  PaxosEngine(sim::Endpoint& endpoint, GroupConfig config, std::unique_ptr<DurableLog> log,
+              DeliverFn deliver);
+
+  /// Starts timers. Member 0 immediately campaigns so the group has a
+  /// leader from the start.
+  void start();
+
+  /// True if `t` falls in the Paxos message-tag range.
+  static bool handles(sim::MsgType t) {
+    return t >= msgtype::kFirst && t <= msgtype::kLast;
+  }
+
+  /// Feeds a network message into the engine.
+  void handle_message(const sim::Message& m, ProcessId from);
+
+  /// Submits a value for atomic broadcast. Forwards to the believed leader
+  /// if this replica is not the leader.
+  void propose(Value v);
+
+  /// Rebuilds volatile state from the durable log after a crash/recover.
+  void on_recover();
+
+  /// Registers the application checkpoint installer (required to accept
+  /// state transfers and to recover from a checkpointed log).
+  void set_install_handler(InstallFn fn) { install_ = std::move(fn); }
+
+  /// Persists `app_state` as a checkpoint covering everything delivered so
+  /// far and truncates the log below it. Lagging replicas that request
+  /// truncated instances receive the checkpoint instead.
+  void save_checkpoint(Value app_state);
+
+  bool is_leader() const { return role_ == Role::kLeader; }
+  /// Process id of the believed leader (self if leading).
+  ProcessId leader_hint() const;
+  InstanceId next_deliver() const { return next_deliver_; }
+  Ballot current_ballot() const { return promised_; }
+  const GroupConfig& config() const { return cfg_; }
+  const DurableLog& log() const { return *log_; }
+
+  struct Stats {
+    std::uint64_t proposed_batches = 0;
+    std::uint64_t decided_instances = 0;
+    std::uint64_t delivered_values = 0;
+    std::uint64_t leader_elections = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t resends = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t state_transfers_sent = 0;
+    std::uint64_t state_transfers_installed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  // Message handlers.
+  void on_phase1a(const Phase1A& m, ProcessId from);
+  void on_phase1b(const Phase1B& m, ProcessId from);
+  void on_phase2a(const Phase2A& m, ProcessId from);
+  void on_phase2b(const Phase2B& m, ProcessId from);
+  void on_nack(const Nack& m);
+  void on_heartbeat(const Heartbeat& m, ProcessId from);
+  void on_forward(Forward m, ProcessId from);
+  void on_catchup_req(const CatchupReq& m, ProcessId from);
+  void on_catchup_resp(const CatchupResp& m);
+  void on_state_transfer(const StateTransfer& m);
+
+  void start_campaign();
+  void become_leader();
+  void step_down(Ballot seen);
+  void maybe_propose();
+  void open_instance(InstanceId inst, Value value);
+  void record_ack(InstanceId inst, Ballot b, std::uint32_t acceptor_index);
+  void decide(InstanceId inst, Value value);
+  void try_deliver();
+  void tick();
+  void broadcast(const sim::Message& m);
+  bool value_in_flight(std::uint64_t hash) const;
+  std::uint32_t member_index(ProcessId pid) const;
+  Time election_deadline() const;
+
+  sim::Endpoint& ep_;
+  GroupConfig cfg_;
+  std::unique_ptr<DurableLog> log_;
+  DeliverFn deliver_;
+  InstallFn install_;
+
+  Role role_ = Role::kFollower;
+  Ballot promised_;          // highest ballot promised (persisted)
+  Ballot highest_seen_;      // highest ballot observed anywhere
+  ProcessId leader_hint_ = 0;
+  Time last_leader_contact_ = 0;
+
+  // Candidate state.
+  std::unordered_map<std::uint32_t, Phase1B> promises_;
+
+  // Learner state: per-instance ack tracking (ballot, member bitmask).
+  struct AckState {
+    Ballot ballot;
+    std::uint64_t mask = 0;
+  };
+  std::map<InstanceId, AckState> acks_;
+  std::map<InstanceId, Value> undelivered_;  // decided, not yet delivered
+  InstanceId next_deliver_ = 0;
+
+  // Leader state.
+  struct OpenInstance {
+    Value value;
+    Time proposed_at = 0;
+  };
+  InstanceId next_instance_ = 0;
+  std::map<InstanceId, OpenInstance> open_;
+  std::deque<Value> pending_;
+
+  /// Values submitted via propose() on this replica, tracked until they are
+  /// delivered. Periodically re-proposed so that a value submitted by a
+  /// correct process is eventually delivered even if a forward message was
+  /// lost or a leader died with it in flight (the layer above deduplicates
+  /// by transaction id).
+  struct SubmittedValue {
+    Value value;
+    Time submitted_at = 0;
+    std::uint32_t count = 0;  // identical values in flight (e.g. ticks)
+  };
+  std::unordered_map<std::uint64_t, SubmittedValue> submitted_;
+  std::uint32_t behind_heartbeats_ = 0;
+
+  std::unordered_map<ProcessId, std::uint32_t> index_of_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace sdur::paxos

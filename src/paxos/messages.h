@@ -1,0 +1,128 @@
+// Paxos wire messages (tag range 1-19).
+//
+// All messages are encoded through util::Writer/Reader; the engine decodes
+// on receipt. Values are opaque byte strings supplied by the layer above
+// (SDUR encodes transactions into them).
+#pragma once
+
+#include <vector>
+
+#include "paxos/types.h"
+#include "sim/message.h"
+
+namespace sdur::paxos {
+
+namespace msgtype {
+constexpr sim::MsgType kPhase1A = 1;
+constexpr sim::MsgType kPhase1B = 2;
+constexpr sim::MsgType kPhase2A = 3;
+constexpr sim::MsgType kPhase2B = 4;
+constexpr sim::MsgType kNack = 5;
+constexpr sim::MsgType kHeartbeat = 6;
+constexpr sim::MsgType kForward = 7;
+constexpr sim::MsgType kCatchupReq = 8;
+constexpr sim::MsgType kCatchupResp = 9;
+constexpr sim::MsgType kStateTransfer = 10;
+constexpr sim::MsgType kFirst = kPhase1A;
+constexpr sim::MsgType kLast = kStateTransfer;
+}  // namespace msgtype
+
+/// An accepted (instance, ballot, value) triple, reported in Phase 1B.
+struct AcceptedEntry {
+  InstanceId instance = 0;
+  Ballot ballot;
+  Value value;
+};
+
+struct Phase1A {
+  Ballot ballot;
+  InstanceId low_instance = 0;  // report accepted entries >= this
+
+  sim::Message to_message() const;
+  static Phase1A decode(util::Reader& r);
+};
+
+struct Phase1B {
+  Ballot ballot;                       // the promise
+  InstanceId next_deliver = 0;         // acceptor's decided prefix
+  std::vector<AcceptedEntry> entries;  // accepted at >= low_instance
+
+  sim::Message to_message() const;
+  static Phase1B decode(util::Reader& r);
+};
+
+struct Phase2A {
+  Ballot ballot;
+  InstanceId instance = 0;
+  Value value;
+
+  sim::Message to_message() const;
+  static Phase2A decode(util::Reader& r);
+};
+
+struct Phase2B {
+  Ballot ballot;
+  InstanceId instance = 0;
+  std::uint32_t acceptor_index = 0;
+
+  sim::Message to_message() const;
+  static Phase2B decode(util::Reader& r);
+};
+
+/// Rejection carrying the highest promised ballot, so a stale proposer can
+/// pick a higher round.
+struct Nack {
+  Ballot promised;
+
+  sim::Message to_message() const;
+  static Nack decode(util::Reader& r);
+};
+
+struct Heartbeat {
+  Ballot ballot;
+  InstanceId decided_upto = 0;  // leader's contiguous decided prefix
+
+  sim::Message to_message() const;
+  static Heartbeat decode(util::Reader& r);
+};
+
+/// A client value forwarded to the (believed) leader.
+struct Forward {
+  Value value;
+
+  sim::Message to_message() const;
+  static Forward decode(util::Reader& r);
+};
+
+struct CatchupReq {
+  InstanceId from_instance = 0;
+
+  sim::Message to_message() const;
+  static CatchupReq decode(util::Reader& r);
+};
+
+struct CatchupResp {
+  InstanceId first_instance = 0;
+  std::vector<Value> values;  // decided values, contiguous from first_instance
+
+  sim::Message to_message() const;
+  static CatchupResp decode(util::Reader& r);
+};
+
+/// A full application checkpoint shipped to a replica that fell behind a
+/// log truncation point: "install this state, then resume delivery at
+/// `resume_at`".
+struct StateTransfer {
+  InstanceId resume_at = 0;
+  Value app_state;
+
+  sim::Message to_message() const;
+  static StateTransfer decode(util::Reader& r);
+};
+
+/// Batch helpers: a Paxos value proposed by the leader is a batch of client
+/// values (possibly empty = no-op used for gap filling).
+Value encode_batch(const std::vector<Value>& values);
+std::vector<Value> decode_batch(const Value& batch);
+
+}  // namespace sdur::paxos

@@ -1,0 +1,63 @@
+// Core Paxos types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/topology.h"
+#include "util/bytes.h"
+
+namespace sdur::paxos {
+
+using sim::ProcessId;
+using sim::Time;
+using Value = util::Bytes;
+
+/// Paxos log position.
+using InstanceId = std::uint64_t;
+
+/// Ballot number: (round << 8) | proposer-index. Higher rounds dominate;
+/// the low byte makes ballots unique per proposer.
+struct Ballot {
+  std::uint64_t n = 0;
+
+  static Ballot make(std::uint64_t round, std::uint32_t proposer_index) {
+    return Ballot{(round << 8) | (proposer_index & 0xFF)};
+  }
+  std::uint64_t round() const { return n >> 8; }
+  std::uint32_t proposer_index() const { return static_cast<std::uint32_t>(n & 0xFF); }
+  bool valid() const { return n != 0; }
+
+  auto operator<=>(const Ballot&) const = default;
+};
+
+/// Static configuration of one Paxos group (one database partition).
+struct GroupConfig {
+  /// Process ids of the group members, in index order. The proposer index
+  /// of a ballot indexes into this vector.
+  std::vector<ProcessId> members;
+  std::uint32_t self_index = 0;
+
+  /// Latency of a synchronous write to the durable log (Berkeley DB in the
+  /// paper's prototype); responses that require persistence are delayed by
+  /// this much.
+  Time log_write_latency = sim::usec(500);
+
+  /// Leader heartbeat period and follower election timeout. The timeout
+  /// must exceed the worst round-trip inside the group (inter-region in
+  /// the WAN 2 deployment).
+  Time heartbeat_interval = sim::msec(100);
+  Time election_timeout = sim::msec(600);
+
+  /// Batching and pipelining at the leader.
+  std::size_t max_batch = 64;
+  std::size_t pipeline_window = 64;
+
+  /// Followers this far behind the leader's decided prefix request catchup.
+  InstanceId catchup_threshold = 8;
+
+  std::size_t quorum() const { return members.size() / 2 + 1; }
+};
+
+}  // namespace sdur::paxos

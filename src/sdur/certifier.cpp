@@ -1,0 +1,158 @@
+#include "sdur/certifier.h"
+
+namespace sdur {
+
+const Certifier::Slot* Certifier::slot(Version v) const {
+  if (v < base_ || v > cc_) return nullptr;
+  return &slots_[static_cast<std::size_t>(v - base_)];
+}
+
+bool Certifier::has_conflict(const PartTx& t, Version st) const {
+  // Certify against every assigned version in (st, cc] — committed,
+  // pending AND vote-aborted alike. Slot status must not influence the
+  // decision: at the moment a transaction is delivered, different replicas
+  // may have resolved different prefixes (votes arrive at different
+  // times), so any status-dependence would break determinism. Treating a
+  // later-aborted global as a conflict source is conservative (an
+  // unnecessary abort, retried with a fresh snapshot), never wrong.
+  const Version from = std::max(st + 1, base_);
+  for (Version v = from; v <= cc_; ++v) {
+    const Slot& s = slots_[static_cast<std::size_t>(v - base_)];
+    // ctest(t, t') (Algorithm 2, lines 46-47): a local transaction must
+    // not have read anything a later-serialized transaction wrote; a
+    // global transaction must additionally not write anything a
+    // later-serialized transaction read, so that cross-partition delivery
+    // orders cannot matter (Section III-B).
+    if (t.readset.intersects(s.write_keys)) return true;
+    if (t.is_global() && t.write_keys.intersects(s.readset)) return true;
+  }
+  return false;
+}
+
+Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uint64_t dc) {
+  Result result;
+
+  // Snapshot bottom (a transaction that wrote without reading at this
+  // partition) serializes after everything certified so far; cc_ is
+  // deterministic at a given delivery, unlike the stable prefix.
+  const Version st = t.snapshot < 0 ? cc_ : t.snapshot;
+  if (st + 1 < base_) {
+    result.stale_snapshot = true;
+    return result;  // abort: snapshot predates the certification window
+  }
+  if (has_conflict(t, st)) return result;  // abort
+
+  std::size_t position;
+  if (t.is_global()) {
+    // Globals append: only locals are reordered (Section IV-E).
+    position = pl_.size();
+  } else {
+    // Leftmost pending-list position from which every later entry is a
+    // leapable global: still below its reorder threshold (rt >= dc keeps
+    // the decision deterministic — past the threshold the global may have
+    // completed at other replicas) and commuting with t in both directions
+    // (so the already-sent votes and the version order stay valid).
+    std::size_t leftmost = pl_.size();
+    for (std::size_t k = pl_.size(); k-- > 0;) {
+      const PendingEntry& pk = pl_[k];
+      const bool leapable = pk.tx.is_global() && pk.rt >= dc &&
+                            !t.write_keys.intersects(pk.tx.readset) &&
+                            !t.readset.intersects(pk.tx.write_keys);
+      if (!leapable) break;
+      leftmost = k;
+    }
+    position = leftmost;
+  }
+
+  result.outcome = Outcome::kCommit;
+  result.position = position;
+  result.reordered = position < pl_.size();
+  result.version = ++cc_;
+  slots_.push_back(Slot{t.id, t.is_global(), SlotStatus::kPending, t.readset, t.write_keys});
+  pl_.insert(pl_.begin() + static_cast<std::ptrdiff_t>(position),
+             PendingEntry{t, rt, result.version, 0, 0, false});
+  return result;
+}
+
+PendingEntry Certifier::pop_head() {
+  PendingEntry e = std::move(pl_.front());
+  pl_.pop_front();
+  return e;
+}
+
+void Certifier::resolve(const PendingEntry& entry, bool committed) {
+  const Version v = entry.version;
+  if (v < base_ || v > cc_) return;
+  slots_[static_cast<std::size_t>(v - base_)].status =
+      committed ? SlotStatus::kCommitted : SlotStatus::kAborted;
+  // Advance the stable prefix over contiguously resolved slots.
+  while (stable_ < cc_) {
+    const Slot* s = slot(stable_ + 1);
+    if (s == nullptr || s->status == SlotStatus::kPending) break;
+    ++stable_;
+  }
+  // Evict old resolved slots beyond the window capacity.
+  while (slots_.size() > window_capacity_ && base_ <= stable_) {
+    slots_.pop_front();
+    ++base_;
+  }
+}
+
+void Certifier::encode(util::Writer& w) const {
+  w.i64(base_);
+  w.i64(cc_);
+  w.i64(stable_);
+  w.varint(slots_.size());
+  for (const Slot& s : slots_) {
+    w.u64(s.txid);
+    w.u8(s.global ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(s.status));
+    s.readset.encode(w);
+    s.write_keys.encode(w);
+  }
+  w.varint(pl_.size());
+  for (const PendingEntry& e : pl_) {
+    const util::Bytes tx = e.tx.encode();
+    w.bytes(tx);
+    w.u64(e.rt);
+    w.i64(e.version);
+  }
+}
+
+void Certifier::install(util::Reader& r) {
+  base_ = r.i64();
+  cc_ = r.i64();
+  stable_ = r.i64();
+  slots_.clear();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Slot s;
+    s.txid = r.u64();
+    s.global = r.u8() != 0;
+    s.status = static_cast<SlotStatus>(r.u8());
+    s.readset = util::KeySet::decode(r);
+    s.write_keys = util::KeySet::decode(r);
+    slots_.push_back(std::move(s));
+  }
+  pl_.clear();
+  const std::uint64_t np = r.varint();
+  for (std::uint64_t i = 0; i < np; ++i) {
+    const std::string tx_bytes = r.bytes();
+    PendingEntry e;
+    e.tx = PartTx::decode(
+        util::Bytes(tx_bytes.begin(), tx_bytes.end()));
+    e.rt = r.u64();
+    e.version = r.i64();
+    pl_.push_back(std::move(e));
+  }
+}
+
+void Certifier::reset() {
+  slots_.clear();
+  base_ = 1;
+  cc_ = 0;
+  stable_ = 0;
+  pl_.clear();
+}
+
+}  // namespace sdur

@@ -1,0 +1,142 @@
+// Certifier: the deterministic certification and reordering core of
+// Algorithm 2, factored out of the server so the paper's central logic can
+// be tested in isolation.
+//
+// DETERMINISM REFINEMENT (see DESIGN.md). The paper's pseudocode advances
+// the snapshot counter SC when a transaction *completes* (Algorithm 2,
+// line 39) and certifies a delivered transaction against DB[t.st[p]..SC]
+// plus the pending list. Completion of a global transaction depends on
+// when its votes arrive, which differs across replicas — so at the moment
+// transaction t is delivered, one replica may have completed a global g
+// (g in DB, excluded from the scan because its version is within t's
+// snapshot) while another still has g pending (g caught by the pending
+// check and flagged as a stale read). The two replicas would then certify
+// t differently and diverge.
+//
+// This implementation closes the race by making version assignment purely
+// delivery-ordered:
+//
+//   * every transaction that passes certification is assigned the next
+//     version (cc) immediately, at delivery — deterministic;
+//   * the window keeps one slot per assigned version with a status
+//     (pending / committed / aborted) and the transaction's read/write
+//     sets; certifying t scans versions in (t.st, cc] ignoring slot
+//     status entirely — pending and even vote-aborted slots count as
+//     conflict sources (resolution timing differs across replicas, so any
+//     status-dependence would break determinism; the cost is an
+//     occasional conservative abort, retried with a fresh snapshot);
+//   * completion resolves the slot and applies the writes at the
+//     *pre-assigned* version; reads are served at the "stable" version —
+//     the largest v such that every slot <= v is resolved — so clients
+//     never observe a snapshot that could still grow a hole.
+//
+// A local transaction reordered before a pending global completes (and is
+// acknowledged) earlier but keeps its delivery-ordered version; this is
+// sound because reordering requires their read/write sets to be disjoint
+// in both directions, i.e. the two transactions commute.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sdur/transaction.h"
+#include "util/bloom.h"
+
+namespace sdur {
+
+/// A pending (certified, not yet completed) transaction. The trailing
+/// fields are server-side liveness bookkeeping the certifier ignores.
+struct PendingEntry {
+  PartTx tx;
+  std::uint64_t rt = 0;  // reorder threshold: complete only once dc >= rt
+  Version version = 0;   // version pre-assigned at certification
+
+  sim::Time delivered_at = 0;
+  sim::Time last_vote_resend = 0;
+  bool abort_requested = false;
+};
+
+class Certifier {
+ public:
+  enum class SlotStatus : std::uint8_t { kPending = 0, kCommitted = 1, kAborted = 2 };
+
+  /// One certified transaction, indexed by its assigned version.
+  struct Slot {
+    TxId txid = 0;
+    bool global = false;
+    SlotStatus status = SlotStatus::kPending;
+    util::KeySet readset;
+    util::KeySet write_keys;
+  };
+
+  explicit Certifier(std::size_t window_capacity)
+      : window_capacity_(window_capacity == 0 ? 1 : window_capacity) {}
+
+  struct Result {
+    Outcome outcome = Outcome::kAbort;
+    /// Insertion position in the pending list (only when committed).
+    std::size_t position = 0;
+    /// Version assigned to the transaction (only when committed).
+    Version version = 0;
+    /// True if a local transaction leaped at least one pending global.
+    bool reordered = false;
+    /// True if the abort was caused by the snapshot falling out of the
+    /// certification window.
+    bool stale_snapshot = false;
+  };
+
+  /// Certifies transaction `t` delivered with reorder threshold `rt` when
+  /// the delivery counter is `dc`; on success assigns the next version and
+  /// inserts it into the pending list (Algorithm 2, reorder()).
+  Result process(const PartTx& t, std::uint64_t rt, std::uint64_t dc);
+
+  // --- Pending list -------------------------------------------------------
+  bool empty() const { return pl_.empty(); }
+  std::size_t size() const { return pl_.size(); }
+  PendingEntry& head() { return pl_.front(); }
+  const PendingEntry& at(std::size_t i) const { return pl_[i]; }
+  PendingEntry& at(std::size_t i) { return pl_[i]; }
+  PendingEntry pop_head();
+
+  // --- Resolution ----------------------------------------------------------
+  /// Resolves a completed transaction's slot (after the caller popped it
+  /// from the pending list and, on commit, applied its writes at
+  /// entry.version). Advances the stable prefix.
+  void resolve(const PendingEntry& entry, bool committed);
+
+  /// Highest assigned version (certified, possibly unresolved).
+  Version certified() const { return cc_; }
+  /// Highest version v such that all slots <= v are resolved; reads are
+  /// served at this snapshot.
+  Version stable() const { return stable_; }
+
+  /// True if a snapshot is still coverable by the window.
+  bool covers(Version st) const {
+    return slots_.empty() || (st < 0 ? stable_ : st) + 1 >= base_;
+  }
+  std::size_t window_size() const { return slots_.size(); }
+
+  /// Slot accessor for tests (version must be in (base-1, cc]).
+  const Slot* slot(Version v) const;
+
+  /// Serializes the full certifier state (window slots + pending list)
+  /// into a checkpoint; install() replaces the state from one. Pending
+  /// entries lose their server-side liveness fields (votes are re-fetched
+  /// by the server's vote-request repair).
+  void encode(util::Writer& w) const;
+  void install(util::Reader& r);
+
+  void reset();
+
+ private:
+  bool has_conflict(const PartTx& t, Version st) const;
+
+  std::size_t window_capacity_;
+  std::deque<Slot> slots_;  // slot for version v at index v - base_
+  Version base_ = 1;        // version of slots_.front()
+  Version cc_ = 0;          // last assigned version
+  Version stable_ = 0;      // resolved prefix
+  std::deque<PendingEntry> pl_;
+};
+
+}  // namespace sdur

@@ -1,0 +1,124 @@
+// SDUR client library: Algorithm 1 of the paper.
+//
+// A client executes a transaction optimistically: reads go to a server of
+// the partition holding the key (the first read fixes the partition's
+// snapshot; later reads at that partition carry it, so the client sees a
+// consistent partition view), writes are buffered locally, and commit
+// ships the whole transaction to a preferred server near the client, which
+// runs the termination protocol.
+//
+// Read-only transactions (Section III-A) first obtain a globally
+// consistent snapshot vector (built asynchronously by servers via gossip)
+// and then read at that snapshot on every partition; they commit without
+// certification and never abort.
+//
+// The API is continuation-based because the client is an actor in the
+// discrete-event simulation: operations complete via callbacks.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sdur/messages.h"
+#include "sdur/partitioning.h"
+#include "sim/process.h"
+
+namespace sdur {
+
+struct ClientConfig {
+  PartitioningPtr partitioning;
+  /// Per partition: the server this client sends reads to (nearest replica).
+  std::vector<sim::ProcessId> read_server;
+  /// Per partition: the preferred server commit requests go to when that
+  /// partition is the transaction's primary.
+  std::vector<sim::ProcessId> commit_server;
+  /// Server answering global-snapshot requests (nearest server overall).
+  sim::ProcessId snapshot_server = 0;
+  /// Safety timeout for commit outcomes (a crashed contact would otherwise
+  /// block the client forever). Expired commits report Outcome::kUnknown.
+  sim::Time commit_timeout = sim::sec(120);
+
+  /// Commit requests are re-sent at this period until the outcome arrives
+  /// (the server remembers outcomes, so retries are idempotent). Covers
+  /// lost request or outcome messages.
+  sim::Time commit_retry_interval = sim::sec(5);
+
+  /// Read and snapshot requests are re-sent at this period until answered
+  /// (both are idempotent).
+  sim::Time read_retry_interval = sim::sec(2);
+};
+
+class Client : public sim::Process {
+ public:
+  using ReadCallback = std::function<void(bool found, const std::string& value)>;
+  using MultiReadCallback = std::function<void(std::vector<std::optional<std::string>>)>;
+  using CommitCallback = std::function<void(Outcome)>;
+  using ReadyCallback = std::function<void()>;
+
+  Client(sim::Network& net, sim::ProcessId pid, sim::Location loc, ClientConfig cfg);
+
+  /// Starts a fresh update transaction (Algorithm 1, begin).
+  void begin();
+
+  /// Starts a read-only transaction against a globally consistent
+  /// snapshot; `ready` fires once the snapshot vector has been fetched.
+  void begin_read_only(ReadyCallback ready);
+
+  /// Reads a key (Algorithm 1, read): buffered writes win; otherwise the
+  /// request goes to the key's partition at the transaction's snapshot.
+  void read(Key k, ReadCallback cb);
+
+  /// Issues all reads in parallel and fires once every response arrived.
+  void read_many(const std::vector<Key>& keys, MultiReadCallback cb);
+
+  /// Buffers a write (Algorithm 1, write).
+  void write(Key k, std::string v);
+
+  /// Requests commit (Algorithm 1, commit). Read-only transactions commit
+  /// immediately and never abort.
+  void commit(CommitCallback cb);
+
+  /// Id of the in-flight transaction.
+  TxId current_txid() const { return tx_.id; }
+  bool read_only() const { return read_only_; }
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t commits_requested = 0;
+    std::uint64_t commit_retries = 0;
+    std::uint64_t timeouts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  void on_message(const sim::Message& m, sim::ProcessId from) override;
+
+ private:
+  sim::ProcessId read_target(PartitionId p) const;
+  void schedule_commit_retry(sim::ProcessId contact, TxId txid, sim::Time delay);
+
+  ClientConfig cfg_;
+  Transaction tx_;
+  bool read_only_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_reqid_ = 1;
+
+  struct PendingRead {
+    ReadCallback cb;
+    sim::ProcessId target;
+    Key key;
+    Version snapshot;
+  };
+  std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+  std::unordered_map<std::uint64_t, ReadyCallback> pending_snapshots_;
+  void schedule_read_retry(std::uint64_t reqid);
+  void schedule_snapshot_retry(std::uint64_t reqid);
+  CommitCallback pending_commit_;
+  TxId pending_commit_txid_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace sdur

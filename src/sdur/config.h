@@ -1,0 +1,107 @@
+// SDUR server configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sdur/transaction.h"
+#include "sim/time.h"
+#include "sim/topology.h"
+
+namespace sdur {
+
+struct ServerConfig {
+  PartitionId partition = 0;
+  PartitionId num_partitions = 1;
+
+  // --- Geo extensions (Section IV) ---------------------------------------
+
+  /// Reorder threshold R: a pending global transaction waits for R further
+  /// deliveries, during which local transactions may be reordered before
+  /// it. 0 disables reordering (baseline SDUR): local transactions are
+  /// only appended, and globals complete as soon as their votes arrive.
+  std::uint32_t reorder_threshold = 0;
+
+  /// Delay the local broadcast of a global transaction by the estimated
+  /// one-way delay to the farthest involved partition (Section IV-D).
+  bool delaying_enabled = false;
+
+  /// Fixed delay for the delaying technique; 0 means "use the estimated
+  /// inter-partition delay". The paper's Figure 3 sweeps fixed values
+  /// (20/40/60 ms).
+  sim::Time fixed_delay = 0;
+
+  /// Estimated one-way delay from this partition to every partition
+  /// (indexed by partition id; entry for own partition = 0). Used by the
+  /// delaying technique; filled in by the deployment builder.
+  std::vector<sim::Time> partition_delay_estimate;
+
+  // --- Certification ------------------------------------------------------
+
+  /// How many committed-transaction records are kept for certification
+  /// (the prototype's "last K bloom filters"). Transactions with snapshots
+  /// older than the window abort.
+  std::size_t window_capacity = 50'000;
+
+  /// Represent shipped readsets as bloom filters (Section V). Cuts
+  /// bandwidth at the price of rare false-positive aborts.
+  bool bloom_readsets = false;
+  /// Per-probe false-positive rate. Certification probes several keys
+  /// against several committed records, so the end-to-end spurious-abort
+  /// rate is roughly scan-depth x keys x this rate — keep it small.
+  double bloom_fp_rate = 1e-5;
+
+  // --- Read-only snapshots -------------------------------------------------
+
+  /// Period of the snapshot-counter gossip that builds globally-consistent
+  /// snapshots for read-only transactions.
+  sim::Time gossip_interval = sim::msec(10);
+
+  // --- Liveness -----------------------------------------------------------
+
+  /// Resend this partition's vote for a stuck pending global (lost votes).
+  sim::Time vote_resend_interval = sim::msec(500);
+
+  /// After this long with missing votes, suspect the submitter crashed
+  /// before broadcasting to every partition and atomically broadcast an
+  /// abort request to the silent partitions (Section IV-F).
+  sim::Time missing_vote_timeout = sim::msec(3000);
+
+  /// When a vote-complete global is blocked only by its reorder threshold
+  /// and the partition is idle, broadcast no-op ticks at this period to
+  /// advance the delivery counter (implementation addition; see DESIGN.md).
+  sim::Time tick_interval = sim::msec(2);
+
+  // --- Checkpointing --------------------------------------------------------
+
+  /// Period of application checkpoints: the server serializes its full
+  /// deterministic state into the Paxos durable log and truncates the log
+  /// below the checkpoint, bounding both log growth and recovery-replay
+  /// length. Replicas that fall behind the truncation point receive the
+  /// checkpoint via state transfer. 0 disables checkpointing.
+  sim::Time checkpoint_interval = 0;
+
+  // --- CPU cost model -------------------------------------------------------
+
+  /// CPU cost charged per delivered transaction (certification +
+  /// bookkeeping). Calibrated so a replica group saturates at a few
+  /// thousand transactions per second, the ballpark of the paper's EC2
+  /// medium instances (single core, 2012).
+  sim::Time certification_cost = sim::usec(90);
+  /// Additional CPU cost per written item at apply time.
+  sim::Time apply_cost_per_write = sim::usec(10);
+  /// Base per-message handling cost.
+  sim::Time message_service_time = sim::usec(15);
+
+  // --- Routing (filled in by the deployment builder) ------------------------
+
+  /// For every partition, the server process ids of its replica group,
+  /// ordered so index 0 is the bootstrap Paxos leader.
+  std::vector<std::vector<sim::ProcessId>> partition_servers;
+
+  /// For every partition, the replica this server routes reads to (the
+  /// nearest replica of that partition). Empty = use partition_servers[p][0].
+  std::vector<sim::ProcessId> read_route;
+};
+
+}  // namespace sdur

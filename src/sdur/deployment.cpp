@@ -1,0 +1,182 @@
+#include "sdur/deployment.h"
+
+#include <stdexcept>
+
+namespace sdur {
+
+namespace {
+sim::Topology topology_for(const DeploymentSpec& spec) {
+  sim::Topology t =
+      spec.kind == DeploymentSpec::Kind::kLan ? sim::Topology::lan() : sim::Topology::ec2_three_regions();
+  t.set_jitter(spec.jitter);
+  return t;
+}
+}  // namespace
+
+Deployment::Deployment(DeploymentSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.partitioning) throw std::invalid_argument("DeploymentSpec requires a partitioning");
+  if (spec_.partitioning->count() != spec_.partitions) {
+    throw std::invalid_argument("partitioning count != deployment partitions");
+  }
+  net_ = std::make_unique<sim::Network>(sim_, topology_for(spec_), spec_.seed);
+
+  // Routing tables shared by all servers.
+  std::vector<std::vector<sim::ProcessId>> partition_servers(spec_.partitions);
+  for (PartitionId p = 0; p < spec_.partitions; ++p) {
+    for (std::uint32_t r = 0; r < spec_.replicas; ++r) {
+      partition_servers[p].push_back(server_pid(p, r));
+    }
+  }
+
+  const sim::Topology& topo = net_->topology();
+  for (PartitionId p = 0; p < spec_.partitions; ++p) {
+    paxos::GroupConfig group;
+    group.members = partition_servers[p];
+    group.log_write_latency = spec_.log_write_latency;
+    group.heartbeat_interval = spec_.heartbeat_interval;
+    group.election_timeout = spec_.election_timeout;
+    group.max_batch = spec_.max_batch;
+    group.pipeline_window = spec_.pipeline_window;
+
+    for (std::uint32_t r = 0; r < spec_.replicas; ++r) {
+      const sim::Location loc = server_location(p, r);
+      ServerConfig cfg = spec_.server;
+      cfg.partition = p;
+      cfg.num_partitions = spec_.partitions;
+      cfg.partition_servers = partition_servers;
+      // Reads route to the replica of the target partition closest to this
+      // server's region.
+      cfg.read_route.clear();
+      for (PartitionId q = 0; q < spec_.partitions; ++q) {
+        cfg.read_route.push_back(server_pid(q, nearest_replica(q, loc.region)));
+      }
+      // Delay estimates (Section IV-D): one-way delay from this server's
+      // region to the target partition's leader region.
+      cfg.partition_delay_estimate.clear();
+      for (PartitionId q = 0; q < spec_.partitions; ++q) {
+        cfg.partition_delay_estimate.push_back(
+            q == p ? 0 : topo.region_delay(loc.region, home_region(q)));
+      }
+      paxos::GroupConfig g = group;
+      g.self_index = r;
+      servers_.push_back(std::make_unique<Server>(*net_, server_pid(p, r), loc, std::move(cfg),
+                                                  std::move(g), spec_.partitioning));
+    }
+  }
+}
+
+Deployment::~Deployment() {
+  // Clients reference the network in their destructor (detach); destroy
+  // them before the network. unique_ptr members are destroyed in reverse
+  // declaration order, which already handles this; nothing else to do.
+}
+
+std::uint16_t Deployment::home_region(PartitionId p) const {
+  if (spec_.kind == DeploymentSpec::Kind::kLan) return 0;
+  return p % 2 == 0 ? sim::kEU : sim::kUSEast;
+}
+
+sim::Location Deployment::server_location(PartitionId p, std::uint32_t replica) const {
+  switch (spec_.kind) {
+    case DeploymentSpec::Kind::kLan:
+      // One region, one availability zone per replica.
+      return {0, static_cast<std::uint16_t>(replica)};
+    case DeploymentSpec::Kind::kWan1: {
+      // Majority of replicas in the home region (distinct availability
+      // zones); the rest in the other home region, serving nearby reads.
+      const std::uint16_t home = home_region(p);
+      const std::uint16_t away = home == sim::kEU ? sim::kUSEast : sim::kEU;
+      const std::uint32_t majority = spec_.replicas / 2 + 1;
+      if (replica < majority) return {home, static_cast<std::uint16_t>(replica)};
+      return {away, static_cast<std::uint16_t>(replica)};
+    }
+    case DeploymentSpec::Kind::kWan2: {
+      // One replica per region, leader (replica 0) in the home region.
+      const std::uint16_t home = home_region(p);
+      const auto region = static_cast<std::uint16_t>((home + replica) % 3);
+      return {region, static_cast<std::uint16_t>(p)};
+    }
+  }
+  return {0, 0};
+}
+
+std::uint32_t Deployment::nearest_replica(PartitionId p, std::uint16_t region) const {
+  const sim::Topology& topo = net_->topology();
+  std::uint32_t best = 0;
+  sim::Time best_delay = sim::kNever;
+  for (std::uint32_t r = 0; r < spec_.replicas; ++r) {
+    const sim::Location loc = server_location(p, r);
+    const sim::Time d = topo.region_delay(region, loc.region);
+    if (d < best_delay) {
+      best_delay = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+Server& Deployment::server(PartitionId p, std::uint32_t replica) {
+  return *servers_.at(p * spec_.replicas + replica);
+}
+
+std::vector<Server*> Deployment::servers() {
+  std::vector<Server*> out;
+  out.reserve(servers_.size());
+  for (auto& s : servers_) out.push_back(s.get());
+  return out;
+}
+
+Client& Deployment::add_client(PartitionId home) {
+  const sim::Location loc{home_region(home), 0};
+  ClientConfig cfg = spec_.client;
+  cfg.read_server.clear();
+  cfg.commit_server.clear();
+  cfg.partitioning = spec_.partitioning;
+  for (PartitionId q = 0; q < spec_.partitions; ++q) {
+    cfg.read_server.push_back(server_pid(q, nearest_replica(q, loc.region)));
+    // Preferred server: the home partition's leader when committing there;
+    // the nearest replica otherwise.
+    cfg.commit_server.push_back(q == home ? server_pid(q, 0)
+                                          : server_pid(q, nearest_replica(q, loc.region)));
+  }
+  cfg.snapshot_server = cfg.commit_server[home];
+  clients_.push_back(std::make_unique<Client>(*net_, next_client_pid_++, loc, std::move(cfg)));
+  return *clients_.back();
+}
+
+std::vector<Client*> Deployment::clients() {
+  std::vector<Client*> out;
+  out.reserve(clients_.size());
+  for (auto& c : clients_) out.push_back(c.get());
+  return out;
+}
+
+void Deployment::load(Key k, std::string v) {
+  const PartitionId p = spec_.partitioning->partition_of(k);
+  for (std::uint32_t r = 0; r < spec_.replicas; ++r) server(p, r).load(k, v);
+}
+
+void Deployment::start() {
+  for (auto& s : servers_) s->start();
+}
+
+Server::Stats Deployment::total_stats() const {
+  Server::Stats total;
+  for (const auto& s : servers_) {
+    const Server::Stats& st = s->stats();
+    total.delivered += st.delivered;
+    total.committed_local += st.committed_local;
+    total.committed_global += st.committed_global;
+    total.aborted += st.aborted;
+    total.stale_snapshot_aborts += st.stale_snapshot_aborts;
+    total.reordered += st.reordered;
+    total.ticks_sent += st.ticks_sent;
+    total.abort_requests_sent += st.abort_requests_sent;
+    total.reads_served += st.reads_served;
+    total.reads_routed += st.reads_routed;
+    total.reads_deferred += st.reads_deferred;
+  }
+  return total;
+}
+
+}  // namespace sdur

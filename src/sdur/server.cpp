@@ -1,0 +1,633 @@
+#include "sdur/server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sdur {
+
+namespace {
+constexpr std::size_t kOwnVoteMemory = 200'000;  // completed-vote history kept
+
+/// Paxos value kind for this server's abcast payloads is the PartTx kind
+/// byte; nothing extra is needed.
+}  // namespace
+
+Server::Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerConfig cfg,
+               paxos::GroupConfig paxos_cfg, PartitioningPtr partitioning)
+    : sim::Process(net, pid, "server-p" + std::to_string(cfg.partition) + "-" +
+                                 std::to_string(paxos_cfg.self_index),
+                   loc),
+      cfg_(std::move(cfg)),
+      partitioning_(std::move(partitioning)),
+      cert_(cfg_.window_capacity),
+      gsc_(cfg_.num_partitions, 0) {
+  set_message_service_time(cfg_.message_service_time);
+  engine_ = std::make_unique<paxos::PaxosEngine>(
+      *this, std::move(paxos_cfg), std::make_unique<paxos::InMemoryDurableLog>(),
+      [this](const paxos::Value& v) { adeliver(v); });
+  engine_->set_install_handler([this](const paxos::Value& blob) { install_state(blob); });
+}
+
+void Server::start() {
+  engine_->start();
+  set_timer(cfg_.gossip_interval, [this] { gossip_tick(); });
+  set_timer(cfg_.vote_resend_interval / 2, [this] { liveness_tick(); });
+  if (cfg_.checkpoint_interval > 0) {
+    set_timer(cfg_.checkpoint_interval, [this] { checkpoint_tick(); });
+  }
+}
+
+void Server::on_message(const sim::Message& m, sim::ProcessId from) {
+  if (paxos::PaxosEngine::handles(m.type)) {
+    engine_->handle_message(m, from);
+    return;
+  }
+  util::Reader r(m.payload);
+  switch (m.type) {
+    case msgtype::kCommitReq: {
+      handle_commit_request(CommitReqMsg::decode(r).tx);
+      break;
+    }
+    case msgtype::kReadReq: {
+      const auto msg = ReadReqMsg::decode(r);
+      handle_read(msg.reqid, from, msg.key, msg.snapshot);
+      break;
+    }
+    case msgtype::kReadRouted: {
+      const auto msg = ReadRoutedMsg::decode(r);
+      answer_read(msg.reqid, msg.client, msg.key, msg.snapshot);
+      break;
+    }
+    case msgtype::kVote: {
+      handle_vote(VoteMsg::decode(r));
+      break;
+    }
+    case msgtype::kVoteRequest: {
+      const auto msg = VoteRequestMsg::decode(r);
+      auto it = own_votes_.find(msg.id);
+      if (it != own_votes_.end()) {
+        send(from, VoteMsg{msg.id, cfg_.partition, it->second}.to_message());
+      }
+      break;
+    }
+    case msgtype::kGossipSC: {
+      const auto msg = GossipSCMsg::decode(r);
+      if (msg.partition < gsc_.size()) gsc_[msg.partition] = std::max(gsc_[msg.partition], msg.sc);
+      break;
+    }
+    case msgtype::kSnapshotReq: {
+      const auto msg = SnapshotReqMsg::decode(r);
+      SnapshotRespMsg resp;
+      resp.reqid = msg.reqid;
+      resp.snapshot = gsc_;
+      resp.snapshot[cfg_.partition] = cert_.stable();
+      send(from, resp.to_message());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// --- Submission (Algorithm 2, submit) ---------------------------------------
+
+void Server::remember_outcome(TxId id, Outcome o) {
+  auto [it, inserted] = outcomes_.try_emplace(id, o);
+  if (!inserted) return;
+  outcomes_order_.push_back(id);
+  while (outcomes_order_.size() > kOwnVoteMemory) {
+    outcomes_.erase(outcomes_order_.front());
+    outcomes_order_.pop_front();
+  }
+}
+
+void Server::handle_commit_request(Transaction tx) {
+  // Client retry after a lost outcome message: answer from memory; the
+  // transaction must not run twice.
+  if (auto it = outcomes_.find(tx.id); it != outcomes_.end()) {
+    send(tx.client, OutcomeMsg{tx.id, it->second}.to_message());
+    return;
+  }
+  // Duplicate commit request for a transaction still in flight here:
+  // dropping it is safe — the original submission is still being driven
+  // by the Paxos resubmission machinery.
+  if (seen_.contains(tx.id)) return;
+  // partitions(t): every partition with a non-bottom snapshot entry; since
+  // there are no blind writes, written partitions were also read.
+  std::vector<PartitionId> involved;
+  involved.reserve(tx.snapshots.size());
+  for (const auto& [p, st] : tx.snapshots) {
+    if (st != kNoSnapshot) involved.push_back(p);
+  }
+  for (const auto& op : tx.writeset) {
+    const PartitionId p = partitioning_->partition_of(op.key);
+    if (tx.snapshot_of(p) == kNoSnapshot) involved.push_back(p);  // defensive
+  }
+  std::sort(involved.begin(), involved.end());
+  involved.erase(std::unique(involved.begin(), involved.end()), involved.end());
+  if (involved.empty()) {
+    // Nothing read or written: trivially commit.
+    send(tx.client, OutcomeMsg{tx.id, Outcome::kCommit}.to_message());
+    return;
+  }
+
+  const bool own_involved =
+      std::binary_search(involved.begin(), involved.end(), cfg_.partition);
+  const sim::ProcessId contact =
+      own_involved ? self() : cfg_.partition_servers[involved.front()].front();
+
+  sim::Time max_remote_delay = 0;
+  for (PartitionId p : involved) {
+    if (p == cfg_.partition) continue;
+    PartTx part = project(tx, p, involved);
+    part.contact = contact;
+    abcast(p, part);
+    if (p < cfg_.partition_delay_estimate.size()) {
+      max_remote_delay = std::max(max_remote_delay, cfg_.partition_delay_estimate[p]);
+    }
+  }
+  if (own_involved) {
+    PartTx part = project(tx, cfg_.partition, involved);
+    part.contact = contact;
+    const sim::Time delay = cfg_.fixed_delay > 0 ? cfg_.fixed_delay : max_remote_delay;
+    if (cfg_.delaying_enabled && involved.size() > 1 && delay > 0) {
+      // Section IV-D: delay the local broadcast of a global transaction by
+      // the estimated time for the remote partitions to receive it.
+      const paxos::Value value = part.encode();
+      set_timer(delay, [this, value] { engine_->propose(value); });
+    } else {
+      abcast(cfg_.partition, part);
+    }
+  }
+}
+
+PartTx Server::project(const Transaction& tx, PartitionId p,
+                       const std::vector<PartitionId>& involved) const {
+  PartTx t;
+  t.kind = PartTx::Kind::kTxn;
+  t.id = tx.id;
+  t.client = tx.client;
+  t.involved = involved;
+  t.snapshot = tx.snapshot_of(p);
+  std::vector<Key> rs;
+  for (Key k : tx.readset) {
+    if (partitioning_->partition_of(k) == p) rs.push_back(k);
+  }
+  t.readset = cfg_.bloom_readsets ? util::KeySet::bloom(rs, cfg_.bloom_fp_rate)
+                                  : util::KeySet::exact(rs);
+  std::vector<Key> ws_keys;
+  for (const auto& op : tx.writeset) {
+    if (partitioning_->partition_of(op.key) == p) {
+      ws_keys.push_back(op.key);
+      t.writes.push_back(op);
+    }
+  }
+  t.write_keys = util::KeySet::exact(std::move(ws_keys));
+  return t;
+}
+
+void Server::abcast(PartitionId p, const PartTx& t) {
+  paxos::Value value = t.encode();
+  if (p == cfg_.partition) {
+    engine_->propose(std::move(value));
+    return;
+  }
+  // Hand the value to the remote group's bootstrap contact; its engine
+  // relays to the current leader if leadership moved.
+  send(cfg_.partition_servers[p].front(), paxos::Forward{std::move(value)}.to_message());
+}
+
+void Server::broadcast_reorder_threshold(std::uint32_t k) {
+  engine_->propose(PartTx::make_set_threshold(k).encode());
+}
+
+// --- Delivery (Algorithm 2, lines 15-33) -------------------------------------
+
+void Server::adeliver(const paxos::Value& value) {
+  PartTx t = PartTx::decode(value);
+  // Control values (ticks, abort requests) are nearly free to process.
+  sim::Time cost = sim::usec(2);
+  if (t.kind == PartTx::Kind::kTxn) {
+    cost = cfg_.certification_cost +
+           cfg_.apply_cost_per_write * static_cast<sim::Time>(t.writes.size());
+  }
+  enqueue_work(cost, [this, t = std::move(t)]() mutable { process_delivery(std::move(t)); });
+}
+
+void Server::process_delivery(PartTx t) {
+  ++dc_;  // every delivered value advances the delivery counter
+  ++stats_.delivered;
+
+  switch (t.kind) {
+    case PartTx::Kind::kTick:
+      break;  // pure DC advance
+
+    case PartTx::Kind::kSetThreshold:
+      // Delivered through the same total order as transactions, so every
+      // replica switches thresholds at the same delivery index.
+      cfg_.reorder_threshold = t.threshold;
+      break;
+
+    case PartTx::Kind::kAbortRequest: {
+      if (seen_.contains(t.id)) {
+        // The transaction did reach this partition; our vote may have been
+        // lost — resend it instead of aborting (Section IV-F: act on
+        // whichever of {transaction, abort request} is delivered first).
+        auto it = own_votes_.find(t.id);
+        if (it != own_votes_.end()) {
+          PartTx stub;
+          stub.id = t.id;
+          stub.involved = t.involved;
+          send_vote_to_peers(stub, it->second);
+        }
+      } else {
+        poisoned_.insert(t.id);
+        PartTx stub;
+        stub.id = t.id;
+        stub.involved = t.involved;
+        record_own_vote(stub, Outcome::kAbort);
+        send_vote_to_peers(stub, Outcome::kAbort);
+      }
+      break;
+    }
+
+    case PartTx::Kind::kTxn: {
+      if (seen_.contains(t.id)) break;  // duplicate after leader change
+      seen_.insert(t.id);
+      const std::uint64_t rt = dc_ + cfg_.reorder_threshold;
+      Outcome vote = Outcome::kAbort;
+      if (!poisoned_.contains(t.id)) {
+        const Certifier::Result res = cert_.process(t, rt, dc_);
+        vote = res.outcome;
+        if (res.stale_snapshot) ++stats_.stale_snapshot_aborts;
+        if (res.reordered) ++stats_.reordered;
+        if (vote == Outcome::kCommit) {
+          PendingEntry& inserted = cert_.at(res.position);
+          inserted.delivered_at = now();
+          inserted.last_vote_resend = now();
+        }
+      }
+      if (t.is_global()) {
+        record_own_vote(t, vote);
+        send_vote_to_peers(t, vote);
+      }
+      if (vote == Outcome::kAbort) {
+        // Failed certification: never entered the pending list, has no
+        // version slot — just account and answer the client.
+        ++stats_.aborted;
+        votes_.erase(t.id);
+        remember_outcome(t.id, Outcome::kAbort);
+        if (t.contact == self() && t.client != 0) {
+          send(t.client, OutcomeMsg{t.id, Outcome::kAbort}.to_message());
+        }
+      }
+      break;
+    }
+  }
+  drain_pending();
+}
+
+void Server::complete(const PendingEntry& e, Outcome outcome) {
+  const PartTx& t = e.tx;
+  if (outcome == Outcome::kCommit) {
+    // Writes are applied at the version pre-assigned at certification;
+    // apply cost was already charged when the delivery was enqueued.
+    for (const auto& op : t.writes) store_.put(op.key, op.value, e.version);
+    cert_.resolve(e, true);
+    if (t.is_global()) {
+      ++stats_.committed_global;
+    } else {
+      ++stats_.committed_local;
+    }
+    if ((cert_.stable() & 0x3FFFF) == 0) {
+      store_.gc(cert_.stable() - static_cast<Version>(cfg_.window_capacity));
+    }
+  } else {
+    cert_.resolve(e, false);
+    ++stats_.aborted;
+  }
+  // Resolution may have advanced the stable prefix either way.
+  service_deferred_reads();
+  votes_.erase(t.id);
+  remember_outcome(t.id, outcome);
+  if (t.contact == self() && t.client != 0) {
+    send(t.client, OutcomeMsg{t.id, outcome}.to_message());
+  }
+}
+
+void Server::schedule_threshold_tick() {
+  // The head global has all its votes but must wait for dc to reach its
+  // reorder threshold (Algorithm 2, line 29). Under load the workload
+  // advances the counter by itself; if the partition goes idle, the
+  // leader proposes enough no-op ticks to cover the deficit in one
+  // broadcast round. The timer re-arms until the head unblocks.
+  if (tick_pending_ || !engine_->is_leader()) return;
+  tick_pending_ = true;
+  const std::uint64_t dc_at_schedule = dc_;
+  set_timer(cfg_.tick_interval, [this, dc_at_schedule] {
+    tick_pending_ = false;
+    const bool blocked = !cert_.empty() && cert_.head().tx.is_global() &&
+                         has_all_votes(cert_.head()) && dc_ < cert_.head().rt;
+    if (!blocked) return;
+    if (dc_ == dc_at_schedule) {
+      // Genuinely idle: tick the whole deficit.
+      const std::uint64_t deficit = std::min<std::uint64_t>(cert_.head().rt - dc_, 256);
+      stats_.ticks_sent += deficit;
+      const paxos::Value tick = PartTx::make_tick().encode();
+      for (std::uint64_t i = 0; i < deficit; ++i) engine_->propose(tick);
+    } else {
+      schedule_threshold_tick();  // traffic advanced dc; re-check later
+    }
+  });
+}
+
+void Server::drain_pending() {
+  while (!cert_.empty()) {
+    PendingEntry& head = cert_.head();
+    if (!head.tx.is_global()) {
+      const PendingEntry e = cert_.pop_head();
+      complete(e, Outcome::kCommit);
+      continue;
+    }
+    if (!has_all_votes(head)) break;
+    if (dc_ < head.rt) {
+      // Vote-complete but threshold-blocked (line 29). If the partition
+      // goes idle the delivery counter would never advance; tick it.
+      schedule_threshold_tick();
+      break;
+    }
+    const Outcome outcome = combined_outcome(head);
+    const PendingEntry e = cert_.pop_head();
+    complete(e, outcome);
+  }
+}
+
+// --- Votes --------------------------------------------------------------------
+
+void Server::record_own_vote(const PartTx& t, Outcome v) {
+  auto [it, inserted] = own_votes_.try_emplace(t.id, v);
+  if (!inserted) return;
+  own_votes_order_.push_back(t.id);
+  while (own_votes_order_.size() > kOwnVoteMemory) {
+    own_votes_.erase(own_votes_order_.front());
+    own_votes_order_.pop_front();
+  }
+  // Record into VOTES as well so has_all_votes sees the own-partition vote
+  // uniformly.
+  votes_[t.id][cfg_.partition] = v;
+}
+
+void Server::send_vote_to_peers(const PartTx& t, Outcome v) {
+  const VoteMsg vote{t.id, cfg_.partition, v};
+  const sim::Message msg = vote.to_message();
+  for (PartitionId p : t.involved) {
+    if (p == cfg_.partition) continue;
+    for (sim::ProcessId peer : cfg_.partition_servers[p]) send(peer, msg);
+  }
+}
+
+bool Server::has_all_votes(const PendingEntry& p) const {
+  auto it = votes_.find(p.tx.id);
+  if (it == votes_.end()) return false;
+  for (PartitionId part : p.tx.involved) {
+    if (!it->second.contains(part)) return false;
+  }
+  return true;
+}
+
+Outcome Server::combined_outcome(const PendingEntry& p) const {
+  auto it = votes_.find(p.tx.id);
+  if (it == votes_.end()) return Outcome::kAbort;
+  for (PartitionId part : p.tx.involved) {
+    auto vit = it->second.find(part);
+    if (vit == it->second.end() || vit->second == Outcome::kAbort) return Outcome::kAbort;
+  }
+  return Outcome::kCommit;
+}
+
+void Server::handle_vote(const VoteMsg& m) {
+  // Votes for transactions already completed here are stale; only keep
+  // votes for pending or not-yet-delivered transactions.
+  bool in_pl = false;
+  for (std::size_t i = 0; i < cert_.size(); ++i) {
+    if (cert_.at(i).tx.id == m.id) {
+      in_pl = true;
+      break;
+    }
+  }
+  const bool completed = seen_.contains(m.id) && !in_pl;
+  if (completed) return;
+  auto& entry = votes_[m.id];
+  auto [it, inserted] = entry.try_emplace(m.partition, m.vote);
+  if (!inserted && it->second == Outcome::kUnknown) it->second = m.vote;
+  drain_pending();
+}
+
+// --- Reads ---------------------------------------------------------------------
+
+void Server::handle_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot) {
+  const PartitionId p = partitioning_->partition_of(key);
+  if (p != cfg_.partition) {
+    // Section V: partitioning is transparent to clients connected to a
+    // single server — route the read; the remote server answers the client
+    // directly.
+    ++stats_.reads_routed;
+    const sim::ProcessId target =
+        p < cfg_.read_route.size() ? cfg_.read_route[p] : cfg_.partition_servers[p].front();
+    send(target, ReadRoutedMsg{reqid, client, key, snapshot}.to_message());
+    return;
+  }
+  answer_read(reqid, client, key, snapshot);
+}
+
+void Server::answer_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot) {
+  const Version st = snapshot < 0 ? cert_.stable() : snapshot;
+  if (st > cert_.stable()) {
+    // Snapshot from gossip that this replica has not reached yet; defer
+    // until enough commits have been applied.
+    ++stats_.reads_deferred;
+    deferred_reads_.push_back(DeferredRead{reqid, client, key, st});
+    return;
+  }
+  ++stats_.reads_served;
+  auto v = store_.get(key, st);
+  ReadRespMsg resp;
+  resp.reqid = reqid;
+  resp.key = key;
+  resp.found = v.has_value();
+  if (v) resp.value = std::move(v->value);
+  resp.snapshot = st;
+  send(client, resp.to_message());
+}
+
+void Server::service_deferred_reads() {
+  for (std::size_t i = 0; i < deferred_reads_.size();) {
+    if (deferred_reads_[i].snapshot <= cert_.stable()) {
+      const DeferredRead r = deferred_reads_[i];
+      deferred_reads_.erase(deferred_reads_.begin() + static_cast<std::ptrdiff_t>(i));
+      answer_read(r.reqid, r.client, r.key, r.snapshot);
+    } else {
+      ++i;
+    }
+  }
+}
+
+// --- Timers ----------------------------------------------------------------------
+
+void Server::gossip_tick() {
+  if (cert_.stable() != last_gossiped_sc_ && cfg_.num_partitions > 1) {
+    last_gossiped_sc_ = cert_.stable();
+    const sim::Message msg = GossipSCMsg{cfg_.partition, cert_.stable()}.to_message();
+    for (PartitionId p = 0; p < cfg_.num_partitions; ++p) {
+      if (p == cfg_.partition) continue;
+      for (sim::ProcessId peer : cfg_.partition_servers[p]) send(peer, msg);
+    }
+  }
+  set_timer(cfg_.gossip_interval, [this] { gossip_tick(); });
+}
+
+void Server::liveness_tick() {
+  const sim::Time t_now = now();
+  for (std::size_t i = 0; i < cert_.size(); ++i) {
+    PendingEntry& p = cert_.at(i);
+    if (!p.tx.is_global() || has_all_votes(p)) continue;
+    if (t_now - p.last_vote_resend >= cfg_.vote_resend_interval) {
+      p.last_vote_resend = t_now;
+      // Re-push our vote (it may have been lost) and pull the votes we are
+      // missing (the peers may have completed long ago, e.g. if this
+      // replica recovered from a crash and lost its vote table).
+      auto it = own_votes_.find(p.tx.id);
+      if (it != own_votes_.end()) send_vote_to_peers(p.tx, it->second);
+      auto votes_it = votes_.find(p.tx.id);
+      for (PartitionId part : p.tx.involved) {
+        if (part == cfg_.partition) continue;
+        if (votes_it != votes_.end() && votes_it->second.contains(part)) continue;
+        const sim::Message req = VoteRequestMsg{p.tx.id}.to_message();
+        for (sim::ProcessId peer : cfg_.partition_servers[part]) send(peer, req);
+      }
+    }
+    if (!p.abort_requested && t_now - p.delivered_at >= cfg_.missing_vote_timeout &&
+        engine_->is_leader()) {
+      // Suspect the submitter crashed between broadcasts: ask the silent
+      // partitions to abort (or to resend their vote if they did deliver).
+      p.abort_requested = true;
+      ++stats_.abort_requests_sent;
+      auto votes_it = votes_.find(p.tx.id);
+      for (PartitionId part : p.tx.involved) {
+        if (part == cfg_.partition) continue;
+        if (votes_it != votes_.end() && votes_it->second.contains(part)) continue;
+        abcast(part, PartTx::make_abort_request(p.tx.id, p.tx.involved));
+      }
+    }
+  }
+  set_timer(cfg_.vote_resend_interval / 2, [this] { liveness_tick(); });
+}
+
+// --- Checkpointing ------------------------------------------------------------------
+
+paxos::Value Server::encode_state() const {
+  util::Writer w;
+  store_.encode(w);
+  cert_.encode(w);
+  w.u64(dc_);
+  w.varint(seen_.size());
+  for (TxId id : seen_) w.u64(id);
+  w.varint(poisoned_.size());
+  for (TxId id : poisoned_) w.u64(id);
+  w.varint(own_votes_order_.size());
+  for (TxId id : own_votes_order_) {
+    w.u64(id);
+    auto it = own_votes_.find(id);
+    w.u8(static_cast<std::uint8_t>(it == own_votes_.end() ? Outcome::kUnknown : it->second));
+  }
+  w.varint(outcomes_order_.size());
+  for (TxId id : outcomes_order_) {
+    w.u64(id);
+    auto it = outcomes_.find(id);
+    w.u8(static_cast<std::uint8_t>(it == outcomes_.end() ? Outcome::kUnknown : it->second));
+  }
+  return std::move(w).take();
+}
+
+void Server::install_state(const paxos::Value& blob) {
+  util::Reader r(blob);
+  store_.install(r);
+  cert_.install(r);
+  dc_ = r.u64();
+  seen_.clear();
+  const std::uint64_t nseen = r.varint();
+  for (std::uint64_t i = 0; i < nseen; ++i) seen_.insert(r.u64());
+  poisoned_.clear();
+  const std::uint64_t npois = r.varint();
+  for (std::uint64_t i = 0; i < npois; ++i) poisoned_.insert(r.u64());
+  own_votes_.clear();
+  own_votes_order_.clear();
+  const std::uint64_t nvotes = r.varint();
+  for (std::uint64_t i = 0; i < nvotes; ++i) {
+    const TxId id = r.u64();
+    const auto v = static_cast<Outcome>(r.u8());
+    own_votes_[id] = v;
+    own_votes_order_.push_back(id);
+  }
+  outcomes_.clear();
+  outcomes_order_.clear();
+  const std::uint64_t nout = r.varint();
+  for (std::uint64_t i = 0; i < nout; ++i) {
+    const TxId id = r.u64();
+    const auto v = static_cast<Outcome>(r.u8());
+    outcomes_[id] = v;
+    outcomes_order_.push_back(id);
+  }
+  // Re-seed VOTES with our own votes; peer votes for still-pending globals
+  // are re-fetched by the vote-request repair in liveness_tick.
+  votes_.clear();
+  for (const auto& [id, v] : own_votes_) votes_[id][cfg_.partition] = v;
+  // Stamp fresh liveness bookkeeping on restored pending entries.
+  for (std::size_t i = 0; i < cert_.size(); ++i) {
+    PendingEntry& e = cert_.at(i);
+    e.delivered_at = now();
+    e.last_vote_resend = 0;
+    e.abort_requested = false;
+  }
+  drain_pending();
+  service_deferred_reads();
+}
+
+void Server::checkpoint_tick() {
+  // Pending transactions serialize into the checkpoint too (their peer
+  // votes are re-fetched on install), so checkpoints can be taken under
+  // load; pending lists stay short in practice.
+  engine_->save_checkpoint(encode_state());
+  set_timer(cfg_.checkpoint_interval, [this] { checkpoint_tick(); });
+}
+
+// --- Recovery -----------------------------------------------------------------------
+
+void Server::on_recover() {
+  store_.truncate_above(0);
+  cert_.reset();
+  dc_ = 0;
+  votes_.clear();
+  poisoned_.clear();
+  seen_.clear();
+  own_votes_.clear();
+  own_votes_order_.clear();
+  outcomes_.clear();
+  outcomes_order_.clear();
+  std::fill(gsc_.begin(), gsc_.end(), 0);
+  last_gossiped_sc_ = -1;
+  deferred_reads_.clear();
+  tick_pending_ = false;
+  stats_ = Stats{};
+  // Replays the decided prefix through adeliver(), rebuilding SC/DC/window
+  // deterministically, then rejoins the group as a follower.
+  engine_->on_recover();
+  set_timer(cfg_.gossip_interval, [this] { gossip_tick(); });
+  set_timer(cfg_.vote_resend_interval / 2, [this] { liveness_tick(); });
+  if (cfg_.checkpoint_interval > 0) {
+    set_timer(cfg_.checkpoint_interval, [this] { checkpoint_tick(); });
+  }
+}
+
+}  // namespace sdur

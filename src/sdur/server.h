@@ -1,0 +1,174 @@
+// SDUR server: Algorithm 2 of the paper.
+//
+// One Server replicates one database partition. It embeds a Paxos engine
+// (the partition's atomic broadcast instance) and a Certifier (the
+// deterministic certification/reordering core) and implements:
+//
+//  - transaction submission: projecting a client transaction per partition
+//    and broadcasting each projection to its partition, optionally delaying
+//    the local broadcast (Section IV-D);
+//  - the 2PC-like vote exchange that terminates global transactions, with
+//    the reorder-threshold completion rule (Section IV-E);
+//  - the abort-request recovery path for transactions whose submitter
+//    failed between broadcasts (Section IV-F);
+//  - multiversion reads at a snapshot, read routing for non-local keys, and
+//    snapshot-counter gossip for global read-only snapshots;
+//  - crash recovery: replaying the Paxos durable log rebuilds the replica
+//    deterministically.
+//
+// Determinism: all state that certification depends on lives in the
+// Certifier and changes only as a function of the delivered sequence,
+// which atomic broadcast makes identical across the partition's replicas.
+// Votes affect only *when* a global completes, never the certification
+// outcome.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "paxos/engine.h"
+#include "sdur/certifier.h"
+#include "sdur/config.h"
+#include "sdur/messages.h"
+#include "sdur/partitioning.h"
+#include "sim/process.h"
+#include "storage/mvstore.h"
+
+namespace sdur {
+
+class Server : public sim::Process {
+ public:
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t committed_local = 0;
+    std::uint64_t committed_global = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t stale_snapshot_aborts = 0;  // snapshot fell out of window
+    std::uint64_t reordered = 0;              // locals that leaped >=1 global
+    std::uint64_t ticks_sent = 0;
+    std::uint64_t abort_requests_sent = 0;
+    std::uint64_t reads_served = 0;
+    std::uint64_t reads_routed = 0;
+    std::uint64_t reads_deferred = 0;
+  };
+
+  Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerConfig cfg,
+         paxos::GroupConfig paxos_cfg, PartitioningPtr partitioning);
+
+  /// Starts Paxos timers, gossip and liveness timers.
+  void start();
+
+  /// Atomically broadcasts a new reorder threshold to this partition; all
+  /// replicas switch at the same point in the delivery sequence (Section
+  /// IV-E: "replicas can change the reordering threshold by broadcasting a
+  /// new value of k").
+  void broadcast_reorder_threshold(std::uint32_t k);
+
+  /// Bulk-loads a key at version 0 (initial database population; done on
+  /// every replica of the partition before start()).
+  void load(Key k, std::string v) { store_.load(k, std::move(v)); }
+
+  PartitionId partition() const { return cfg_.partition; }
+  /// Stable snapshot version: reads are served at this version.
+  Version sc() const { return cert_.stable(); }
+  /// Highest assigned (certified) version, possibly unresolved.
+  Version certified() const { return cert_.certified(); }
+  std::uint64_t dc() const { return dc_; }
+  std::uint32_t reorder_threshold() const { return cfg_.reorder_threshold; }
+  std::size_t pending_count() const { return cert_.size(); }
+  const Stats& stats() const { return stats_; }
+  const storage::MVStore& store() const { return store_; }
+  paxos::PaxosEngine& engine() { return *engine_; }
+  const ServerConfig& config() const { return cfg_; }
+
+ protected:
+  void on_message(const sim::Message& m, sim::ProcessId from) override;
+  void on_recover() override;
+
+ private:
+  // --- Submission ---------------------------------------------------------
+  void handle_commit_request(Transaction tx);
+  PartTx project(const Transaction& tx, PartitionId p,
+                 const std::vector<PartitionId>& involved) const;
+  /// Sends an encoded PartTx into partition p's atomic broadcast.
+  void abcast(PartitionId p, const PartTx& t);
+
+  // --- Delivery (Algorithm 2, lines 15-33) ----------------------------------
+  void adeliver(const paxos::Value& value);
+  void process_delivery(PartTx t);
+  void complete(const PendingEntry& e, Outcome outcome);
+  void drain_pending();
+  void schedule_threshold_tick();
+
+  // --- Votes ----------------------------------------------------------------
+  void record_own_vote(const PartTx& t, Outcome v);
+  void send_vote_to_peers(const PartTx& t, Outcome v);
+  bool has_all_votes(const PendingEntry& p) const;
+  Outcome combined_outcome(const PendingEntry& p) const;
+  void handle_vote(const VoteMsg& m);
+
+  // --- Reads ------------------------------------------------------------------
+  void handle_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot);
+  void answer_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot);
+  void service_deferred_reads();
+
+  // --- Checkpointing ----------------------------------------------------------
+  /// Serializes the server's deterministic state (store, certifier, dedup
+  /// and vote tables, counters) into a checkpoint blob.
+  paxos::Value encode_state() const;
+  /// Replaces the server's state from a checkpoint blob (recovery / state
+  /// transfer). Votes for pending globals are re-fetched via vote requests.
+  void install_state(const paxos::Value& blob);
+
+  // --- Timers -------------------------------------------------------------------
+  void gossip_tick();
+  void liveness_tick();
+  void checkpoint_tick();
+
+  ServerConfig cfg_;
+  PartitioningPtr partitioning_;
+
+  storage::MVStore store_;
+  Certifier cert_;
+  std::uint64_t dc_ = 0;  // delivered-transactions counter
+
+  /// VOTES: votes received per global transaction and partition.
+  std::unordered_map<TxId, std::unordered_map<PartitionId, Outcome>> votes_;
+  /// Abort requests delivered before their transaction.
+  std::unordered_set<TxId> poisoned_;
+  /// Delivered transaction ids (dedup across leader-change re-broadcasts).
+  std::unordered_set<TxId> seen_;
+  /// Own votes for globals, kept after completion so they can be resent
+  /// (bounded FIFO).
+  std::unordered_map<TxId, Outcome> own_votes_;
+  std::deque<TxId> own_votes_order_;
+
+  /// Final outcomes of completed transactions. Deterministic (every
+  /// replica completes every transaction with the same outcome), so it is
+  /// recorded on all replicas, carried in checkpoints, and used to answer
+  /// duplicate commit requests (client retries after a lost outcome
+  /// message) without re-executing (bounded FIFO).
+  std::unordered_map<TxId, Outcome> outcomes_;
+  std::deque<TxId> outcomes_order_;
+  void remember_outcome(TxId id, Outcome o);
+
+  /// Latest known snapshot counters of all partitions (gossip).
+  std::vector<Version> gsc_;
+  Version last_gossiped_sc_ = -1;
+
+  struct DeferredRead {
+    std::uint64_t reqid;
+    sim::ProcessId client;
+    Key key;
+    Version snapshot;
+  };
+  std::deque<DeferredRead> deferred_reads_;
+
+  std::unique_ptr<paxos::PaxosEngine> engine_;
+  Stats stats_;
+  bool tick_pending_ = false;
+};
+
+}  // namespace sdur

@@ -1,0 +1,162 @@
+#include "sdur/transaction.h"
+
+#include <algorithm>
+
+namespace sdur {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kCommit:
+      return "commit";
+    case Outcome::kAbort:
+      return "abort";
+    default:
+      return "unknown";
+  }
+}
+
+Version Transaction::snapshot_of(PartitionId p) const {
+  for (const auto& [part, v] : snapshots) {
+    if (part == p) return v;
+  }
+  return kNoSnapshot;
+}
+
+void Transaction::set_snapshot(PartitionId p, Version v) {
+  for (auto& [part, existing] : snapshots) {
+    if (part == p) {
+      existing = v;
+      return;
+    }
+  }
+  snapshots.emplace_back(p, v);
+}
+
+void Transaction::encode(util::Writer& w) const {
+  w.u64(id);
+  w.u32(client);
+  w.varint(snapshots.size());
+  for (const auto& [p, v] : snapshots) {
+    w.u32(p);
+    w.i64(v);
+  }
+  w.varint(readset.size());
+  for (Key k : readset) w.u64(k);
+  w.varint(writeset.size());
+  for (const auto& op : writeset) {
+    w.u64(op.key);
+    w.bytes(op.value);
+  }
+}
+
+Transaction Transaction::decode(util::Reader& r) {
+  Transaction t;
+  t.id = r.u64();
+  t.client = r.u32();
+  const std::uint64_t ns = r.varint();
+  t.snapshots.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    const PartitionId p = r.u32();
+    const Version v = r.i64();
+    t.snapshots.emplace_back(p, v);
+  }
+  const std::uint64_t nr = r.varint();
+  t.readset.reserve(nr);
+  for (std::uint64_t i = 0; i < nr; ++i) t.readset.push_back(r.u64());
+  const std::uint64_t nw = r.varint();
+  t.writeset.reserve(nw);
+  for (std::uint64_t i = 0; i < nw; ++i) {
+    WriteOp op;
+    op.key = r.u64();
+    op.value = r.bytes();
+    t.writeset.push_back(std::move(op));
+  }
+  return t;
+}
+
+util::Bytes PartTx::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  if (kind == Kind::kTick) return std::move(w).take();
+  if (kind == Kind::kSetThreshold) {
+    w.u32(threshold);
+    return std::move(w).take();
+  }
+  w.u64(id);
+  if (kind == Kind::kAbortRequest) {
+    w.varint(involved.size());
+    for (PartitionId p : involved) w.u32(p);
+    return std::move(w).take();
+  }
+  w.u32(client);
+  w.u32(contact);
+  w.varint(involved.size());
+  for (PartitionId p : involved) w.u32(p);
+  w.i64(snapshot);
+  readset.encode(w);
+  write_keys.encode(w);
+  w.varint(writes.size());
+  for (const auto& op : writes) {
+    w.u64(op.key);
+    w.bytes(op.value);
+  }
+  return std::move(w).take();
+}
+
+PartTx PartTx::decode(const util::Bytes& value) {
+  util::Reader r(value);
+  PartTx t;
+  t.kind = static_cast<Kind>(r.u8());
+  if (t.kind == Kind::kTick) return t;
+  if (t.kind == Kind::kSetThreshold) {
+    t.threshold = r.u32();
+    return t;
+  }
+  t.id = r.u64();
+  if (t.kind == Kind::kAbortRequest) {
+    const std::uint64_t np = r.varint();
+    t.involved.reserve(np);
+    for (std::uint64_t i = 0; i < np; ++i) t.involved.push_back(r.u32());
+    return t;
+  }
+  t.client = r.u32();
+  t.contact = r.u32();
+  const std::uint64_t np = r.varint();
+  t.involved.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) t.involved.push_back(r.u32());
+  t.snapshot = r.i64();
+  t.readset = util::KeySet::decode(r);
+  t.write_keys = util::KeySet::decode(r);
+  const std::uint64_t nw = r.varint();
+  t.writes.reserve(nw);
+  for (std::uint64_t i = 0; i < nw; ++i) {
+    WriteOp op;
+    op.key = r.u64();
+    op.value = r.bytes();
+    t.writes.push_back(std::move(op));
+  }
+  return t;
+}
+
+PartTx PartTx::make_tick() {
+  PartTx t;
+  t.kind = Kind::kTick;
+  return t;
+}
+
+PartTx PartTx::make_set_threshold(std::uint32_t k) {
+  PartTx t;
+  t.kind = Kind::kSetThreshold;
+  t.threshold = k;
+  return t;
+}
+
+PartTx PartTx::make_abort_request(TxId id, std::vector<PartitionId> involved) {
+  PartTx t;
+  t.kind = Kind::kAbortRequest;
+  t.id = id;
+  t.involved = std::move(involved);
+  return t;
+}
+
+}  // namespace sdur

@@ -1,0 +1,35 @@
+// Wire message representation.
+//
+// A message is a 16-bit type tag plus an opaque encoded payload. Modules
+// own disjoint tag ranges (documented below) so a single process can host
+// several protocol layers (e.g. an SDUR server embedding a Paxos replica)
+// and dispatch by tag.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/bytes.h"
+
+namespace sdur::sim {
+
+/// Message tag ranges by module:
+///   1–19   Paxos (src/paxos/messages.h)
+///   20–49  SDUR server-to-server and client (src/sdur/messages.h)
+///   50–99  reserved for applications/tests
+using MsgType = std::uint16_t;
+
+struct Message {
+  MsgType type = 0;
+  util::Bytes payload;
+
+  Message() = default;
+  Message(MsgType t, util::Bytes p) : type(t), payload(std::move(p)) {}
+  Message(MsgType t, util::Writer&& w) : type(t), payload(std::move(w).take()) {}
+
+  /// Approximate wire size (payload + small header), used for bandwidth
+  /// accounting.
+  std::size_t wire_size() const { return payload.size() + 8; }
+};
+
+}  // namespace sdur::sim

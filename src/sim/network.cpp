@@ -1,0 +1,79 @@
+#include "sim/network.h"
+
+#include "sim/process.h"
+
+namespace sdur::sim {
+
+Network::Network(Simulator& sim, Topology topology, std::uint64_t seed)
+    : sim_(sim), topology_(std::move(topology)), rng_(seed) {}
+
+void Network::attach(Process* p, Location loc) {
+  processes_[p->id()] = p;
+  topology_.place(p->id(), loc);
+}
+
+void Network::detach(ProcessId pid) { processes_.erase(pid); }
+
+Process* Network::process(ProcessId pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+std::vector<ProcessId> Network::process_ids() const {
+  std::vector<ProcessId> ids;
+  ids.reserve(processes_.size());
+  for (const auto& [pid, p] : processes_) ids.push_back(pid);
+  return ids;
+}
+
+void Network::block_link(ProcessId a, ProcessId b) {
+  blocked_links_.insert(link_key(a, b));
+  blocked_links_.insert(link_key(b, a));
+}
+
+void Network::unblock_link(ProcessId a, ProcessId b) {
+  blocked_links_.erase(link_key(a, b));
+  blocked_links_.erase(link_key(b, a));
+}
+
+void Network::heal_all() {
+  blocked_links_.clear();
+  isolated_.clear();
+}
+
+void Network::partition(const std::vector<ProcessId>& group) {
+  std::unordered_set<ProcessId> in_group(group.begin(), group.end());
+  for (const auto& [a, pa] : processes_) {
+    for (const auto& [b, pb] : processes_) {
+      if (a < b && in_group.contains(a) != in_group.contains(b)) block_link(a, b);
+    }
+  }
+}
+
+void Network::send(ProcessId from, ProcessId to, Message m) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += m.wire_size();
+  ++stats_.per_type_count[m.type];
+  stats_.per_type_bytes[m.type] += m.wire_size();
+
+  const bool dropped = isolated_.contains(from) || isolated_.contains(to) ||
+                       blocked_links_.contains(link_key(from, to)) ||
+                       (loss_rate_ > 0 && rng_.chance(loss_rate_));
+  if (dropped) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const Time delay = topology_.delay(from, to, rng_);
+  sim_.schedule_after(delay, [this, from, to, m = std::move(m)]() mutable {
+    auto it = processes_.find(to);
+    if (it == processes_.end() || it->second->crashed()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second->incoming(std::move(m), from);
+  });
+}
+
+}  // namespace sdur::sim

@@ -1,0 +1,88 @@
+// Simulated network with quasi-reliable links and fault injection.
+//
+// Matches the paper's link model (Section II-A): if both sender and
+// receiver are correct, every message sent is eventually received. There is
+// no duplication or corruption by default; message loss, process isolation
+// and network partitions can be injected for protocol tests (Paxos must
+// stay safe under all of them).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+
+namespace sdur::sim {
+
+class Process;
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::unordered_map<MsgType, std::uint64_t> per_type_count;
+  std::unordered_map<MsgType, std::uint64_t> per_type_bytes;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, Topology topology, std::uint64_t seed = 1);
+
+  /// Registers a process endpoint at the given location.
+  void attach(Process* p, Location loc);
+  void detach(ProcessId pid);
+
+  /// Sends `m` from `from` to `to` with the topology's delay + jitter.
+  /// Drops silently if either endpoint is crashed/isolated/blocked or the
+  /// loss dice say so.
+  void send(ProcessId from, ProcessId to, Message m);
+
+  const Topology& topology() const { return topology_; }
+  Simulator& simulator() { return sim_; }
+
+  Process* process(ProcessId pid) const;
+  std::vector<ProcessId> process_ids() const;
+
+  // --- Fault injection ---------------------------------------------------
+
+  /// Uniform probability that any message is dropped in flight.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  /// Cuts both directions between `a` and `b`.
+  void block_link(ProcessId a, ProcessId b);
+  void unblock_link(ProcessId a, ProcessId b);
+
+  /// Cuts a process off from everyone (it stays alive, e.g. to model a
+  /// network partition of a single node).
+  void isolate(ProcessId pid) { isolated_.insert(pid); }
+  void heal(ProcessId pid) { isolated_.erase(pid); }
+  void heal_all();
+
+  /// Partitions the network into {group} vs. the rest.
+  void partition(const std::vector<ProcessId>& group);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+ private:
+  static std::uint64_t link_key(ProcessId a, ProcessId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Simulator& sim_;
+  Topology topology_;
+  util::Rng rng_;
+  double loss_rate_ = 0.0;
+  std::unordered_map<ProcessId, Process*> processes_;
+  std::unordered_set<std::uint64_t> blocked_links_;
+  std::unordered_set<ProcessId> isolated_;
+  NetworkStats stats_;
+};
+
+}  // namespace sdur::sim

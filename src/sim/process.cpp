@@ -1,0 +1,62 @@
+#include "sim/process.h"
+
+#include "util/logging.h"
+
+namespace sdur::sim {
+
+Process::Process(Network& net, ProcessId id, std::string name, Location loc)
+    : net_(net), id_(id), name_(std::move(name)) {
+  net_.attach(this, loc);
+}
+
+Process::~Process() { net_.detach(id_); }
+
+void Process::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  SDUR_INFO(name_) << "crashed";
+}
+
+void Process::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  cpu_free_at_ = now();
+  SDUR_INFO(name_) << "recovered";
+  on_recover();
+}
+
+void Process::send(ProcessId to, Message m) {
+  if (crashed_) return;
+  net_.send(id_, to, std::move(m));
+}
+
+void Process::set_timer(Time delay, std::function<void()> fn) {
+  if (crashed_) return;
+  const std::uint64_t epoch = epoch_;
+  net_.simulator().schedule_after(delay, [this, epoch, fn = std::move(fn)]() {
+    if (crashed_ || epoch_ != epoch) return;
+    fn();
+  });
+}
+
+void Process::enqueue_work(Time cost, std::function<void()> fn) {
+  if (crashed_) return;
+  const Time start = std::max(now(), cpu_free_at_);
+  const Time done = start + (cost < 0 ? 0 : cost);
+  cpu_free_at_ = done;
+  const std::uint64_t epoch = epoch_;
+  net_.simulator().schedule_at(done, [this, epoch, fn = std::move(fn)]() {
+    if (crashed_ || epoch_ != epoch) return;
+    fn();
+  });
+}
+
+void Process::incoming(Message m, ProcessId from) {
+  if (crashed_) return;
+  enqueue_work(message_service_time_,
+               [this, from, m = std::move(m)]() { on_message(m, from); });
+}
+
+}  // namespace sdur::sim

@@ -1,0 +1,102 @@
+// Process abstraction: a crash-stop actor with a serial CPU.
+//
+// Each process handles one piece of work at a time on a virtual CPU.
+// Incoming messages and explicit work items queue behind the CPU, which is
+// what produces realistic queueing delay and saturation (and the convoy
+// effect the paper analyses: certification is serialized per replica).
+//
+// Crash-stop semantics: after crash() the process ignores messages, timers
+// and queued work. recover() (used by Paxos recovery tests) bumps an epoch
+// so anything scheduled before the crash stays dead, then calls
+// on_recover() to let the subclass rebuild volatile state from its durable
+// log.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/endpoint.h"
+#include "sim/network.h"
+
+namespace sdur::sim {
+
+class Process : public Endpoint {
+ public:
+  Process(Network& net, ProcessId id, std::string name, Location loc);
+  ~Process() override;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Time now() const { return net_.simulator().now(); }
+  Network& network() { return net_; }
+
+  bool crashed() const { return crashed_; }
+  virtual void crash();
+  virtual void recover();
+
+  /// Per-message base CPU cost (default 10 us). Handlers can queue extra
+  /// work with enqueue_work().
+  void set_message_service_time(Time t) { message_service_time_ = t; }
+
+  /// Sends a message through the network (no-op when crashed).
+  void send(ProcessId to, Message m);
+
+  /// One-shot timer. The callback is skipped if the process has crashed or
+  /// recovered (epoch change) by the time it fires. Timers model protocol
+  /// timeouts and do not consume CPU.
+  void set_timer(Time delay, std::function<void()> fn);
+
+  /// Queues `fn` on this process's serial CPU with the given cost. `fn`
+  /// runs when the CPU has finished all previously queued work plus
+  /// `cost` microseconds. This is the primitive behind message handling
+  /// and explicit work like certification.
+  void enqueue_work(Time cost, std::function<void()> fn);
+
+  /// Extends the CPU busy period by `cost` without scheduling a callback;
+  /// used to account for work done inline in a handler (e.g. applying a
+  /// writeset). Only work enqueued *after* the charge queues behind it —
+  /// already-enqueued work keeps its schedule.
+  void charge_cpu(Time cost) {
+    cpu_free_at_ = std::max(now(), cpu_free_at_) + (cost < 0 ? 0 : cost);
+  }
+
+  /// Virtual time at which the CPU becomes free (for tests/metrics).
+  Time cpu_free_at() const { return cpu_free_at_; }
+
+  // --- Endpoint interface (delegates to the methods above) ---------------
+  ProcessId self() const override { return id_; }
+  Time current_time() const override { return now(); }
+  void send_message(ProcessId to, Message m) override { send(to, std::move(m)); }
+  void start_timer(Time delay, std::function<void()> fn) override {
+    set_timer(delay, std::move(fn));
+  }
+  void queue_work(Time cost, std::function<void()> fn) override {
+    enqueue_work(cost, std::move(fn));
+  }
+
+ protected:
+  /// Message handler; runs on the process CPU.
+  virtual void on_message(const Message& m, ProcessId from) = 0;
+
+  /// Called after recover(); rebuild volatile state from durable storage.
+  virtual void on_recover() {}
+
+ private:
+  friend class Network;
+  /// Entry point used by the network at delivery time.
+  void incoming(Message m, ProcessId from);
+
+  Network& net_;
+  ProcessId id_;
+  std::string name_;
+  bool crashed_ = false;
+  std::uint64_t epoch_ = 0;
+  Time message_service_time_ = usec(10);
+  Time cpu_free_at_ = 0;
+};
+
+}  // namespace sdur::sim

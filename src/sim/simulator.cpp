@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace sdur::sim {
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (stopped_ || queue_.empty()) return false;
+  if (event_budget_ != 0 && events_processed_ >= event_budget_) {
+    throw std::runtime_error("simulator event budget exhausted");
+  }
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the closure handle (shared state is cheap: std::function with
+  // small captures, and correctness never depends on identity).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace sdur::sim

@@ -1,0 +1,73 @@
+// Discrete-event simulator core.
+//
+// A binary min-heap of (time, sequence, closure). Ties on time break by
+// insertion order, so runs are fully deterministic given a seed. The
+// simulator knows nothing about processes or networks; those layers
+// schedule closures on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sdur::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now()).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` microseconds.
+  void schedule_after(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Runs the next event; returns false if the queue is empty or stopped.
+  bool step();
+
+  /// Runs until the queue drains, `stop()` is called, or the event budget
+  /// is exhausted.
+  void run();
+
+  /// Runs events with time <= t, then sets now() = t.
+  void run_until(Time t);
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Safety valve against runaway experiments (0 = unlimited).
+  void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_budget_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sdur::sim

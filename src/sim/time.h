@@ -1,0 +1,24 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol code measures time in microseconds of virtual time; the
+// simulator advances the clock from event to event, so experiments are
+// deterministic and run orders of magnitude faster than wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace sdur::sim {
+
+/// Virtual time / duration in microseconds.
+using Time = std::int64_t;
+
+constexpr Time kNever = INT64_MAX;
+
+constexpr Time usec(std::int64_t v) { return v; }
+constexpr Time msec(std::int64_t v) { return v * 1000; }
+constexpr Time sec(std::int64_t v) { return v * 1'000'000; }
+
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1'000'000.0; }
+
+}  // namespace sdur::sim

@@ -1,0 +1,19 @@
+#include "storage/commit_window.h"
+
+#include <stdexcept>
+
+namespace sdur::storage {
+
+void CommitWindow::push(Version version, CommitRecord rec) {
+  if (!records_.empty() && version != newest() + 1) {
+    throw std::logic_error("CommitWindow::push: versions must be contiguous");
+  }
+  if (records_.empty()) base_ = version;
+  records_.push_back(std::move(rec));
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++base_;
+  }
+}
+
+}  // namespace sdur::storage

@@ -1,0 +1,72 @@
+// Certification window: the recent committed-transaction list "DB" of
+// Algorithm 2.
+//
+// Certifying a delivered transaction t compares it against every
+// transaction committed after t's snapshot (DB[t.st[p]..SC]). Servers only
+// keep the last `capacity` records (the paper's prototype keeps the last K
+// bloom filters); a transaction whose snapshot predates the window can no
+// longer be certified and must abort.
+//
+// Records store both the readset and writeset (as exact or bloom KeySets):
+// local certification needs committed writesets, global certification
+// additionally intersects against committed readsets (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "storage/mvstore.h"
+#include "util/bloom.h"
+
+namespace sdur::storage {
+
+struct CommitRecord {
+  std::uint64_t txid = 0;
+  bool global = false;
+  util::KeySet readset;
+  util::KeySet writeset;
+};
+
+class CommitWindow {
+ public:
+  explicit CommitWindow(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends the record for the commit that produced snapshot `version`.
+  /// Versions must be pushed in strictly increasing order.
+  void push(Version version, CommitRecord rec);
+
+  /// Oldest / newest record versions in the window (0 if empty).
+  Version oldest() const { return records_.empty() ? 0 : base_; }
+  Version newest() const {
+    return records_.empty() ? 0 : base_ + static_cast<Version>(records_.size()) - 1;
+  }
+
+  /// True if a transaction with snapshot `st` can still be certified, i.e.
+  /// every commit record in (st, newest] is in the window.
+  bool covers(Version st) const {
+    return records_.empty() || st + 1 >= base_;
+  }
+
+  /// Invokes `fn(record)` for every commit with version in (st, newest],
+  /// stopping early if `fn` returns false. Returns false if it stopped
+  /// early, true otherwise. Precondition: covers(st).
+  template <typename Fn>
+  bool scan_after(Version st, Fn&& fn) const {
+    if (records_.empty()) return true;
+    Version from = st + 1;
+    if (from < base_) from = base_;  // caller should have checked covers()
+    for (auto i = static_cast<std::size_t>(from - base_); i < records_.size(); ++i) {
+      if (!fn(records_[i])) return false;
+    }
+    return true;
+  }
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::size_t capacity_;
+  Version base_ = 0;  // version of records_.front()
+  std::deque<CommitRecord> records_;
+};
+
+}  // namespace sdur::storage

@@ -1,0 +1,96 @@
+#include "storage/mvstore.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdur::storage {
+
+std::optional<VersionedValue> MVStore::get(Key k, Version snapshot) const {
+  auto it = map_.find(k);
+  if (it == map_.end()) return std::nullopt;
+  const auto& versions = it->second;
+  // First version with version > snapshot; the predecessor is the answer.
+  auto pos = std::upper_bound(versions.begin(), versions.end(), snapshot,
+                              [](Version s, const VersionedValue& v) { return s < v.version; });
+  if (pos == versions.begin()) return std::nullopt;
+  return *(pos - 1);
+}
+
+std::optional<VersionedValue> MVStore::get_latest(Key k) const {
+  auto it = map_.find(k);
+  if (it == map_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+void MVStore::put(Key k, std::string value, Version version) {
+  auto& versions = map_[k];
+  if (!versions.empty() && versions.back().version > version) {
+    throw std::logic_error("MVStore::put: version regression");
+  }
+  if (!versions.empty() && versions.back().version == version) {
+    versions.back().value = std::move(value);  // same-snapshot overwrite
+    return;
+  }
+  versions.push_back(VersionedValue{version, std::move(value)});
+  ++versions_;
+}
+
+void MVStore::truncate_above(Version horizon) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    auto& versions = it->second;
+    while (!versions.empty() && versions.back().version > horizon) {
+      versions.pop_back();
+      --versions_;
+    }
+    it = versions.empty() ? map_.erase(it) : std::next(it);
+  }
+}
+
+void MVStore::gc(Version horizon) {
+  for (auto& [k, versions] : map_) {
+    if (versions.size() <= 1) continue;
+    // Keep the newest version <= horizon (still readable at the horizon)
+    // and everything newer.
+    auto pos = std::upper_bound(versions.begin(), versions.end(), horizon,
+                                [](Version s, const VersionedValue& v) { return s < v.version; });
+    if (pos == versions.begin()) continue;
+    auto first_kept = pos - 1;
+    if (first_kept == versions.begin()) continue;
+    versions_ -= static_cast<std::size_t>(first_kept - versions.begin());
+    versions.erase(versions.begin(), first_kept);
+  }
+}
+
+void MVStore::encode(util::Writer& w) const {
+  w.varint(map_.size());
+  for (const auto& [k, versions] : map_) {
+    w.u64(k);
+    w.varint(versions.size());
+    for (const auto& vv : versions) {
+      w.i64(vv.version);
+      w.bytes(vv.value);
+    }
+  }
+}
+
+void MVStore::install(util::Reader& r) {
+  map_.clear();
+  versions_ = 0;
+  const std::uint64_t nkeys = r.varint();
+  map_.reserve(nkeys);
+  for (std::uint64_t i = 0; i < nkeys; ++i) {
+    const Key k = r.u64();
+    const std::uint64_t nv = r.varint();
+    auto& versions = map_[k];
+    versions.reserve(nv);
+    for (std::uint64_t j = 0; j < nv; ++j) {
+      VersionedValue vv;
+      vv.version = r.i64();
+      vv.value = r.bytes();
+      versions.push_back(std::move(vv));
+    }
+    versions_ += nv;
+  }
+}
+
+}  // namespace sdur::storage

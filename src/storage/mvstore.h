@@ -1,0 +1,87 @@
+// Multiversion key-value store (one per server, holding one partition).
+//
+// Matches the paper's database model (Section II-B): each item is a tuple
+// (key, value, version) and the store is multiversion — reads at snapshot
+// `st` return the most recent version <= st, so transactions observe a
+// consistent view of the partition as of their first read.
+//
+// Versions are the partition's snapshot counter values: committing
+// transaction t under snapshot counter SC writes its updates with version
+// SC+1 and then advances the counter, so a transaction that began at
+// snapshot SC never observes t's writes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sdur::storage {
+
+using Key = std::uint64_t;
+/// A snapshot-counter value; version 0 is "initial load".
+using Version = std::int64_t;
+
+struct VersionedValue {
+  Version version = 0;
+  std::string value;
+};
+
+class MVStore {
+ public:
+  /// Most recent version of `k` with version <= snapshot.
+  std::optional<VersionedValue> get(Key k, Version snapshot) const;
+
+  /// Latest version of `k`.
+  std::optional<VersionedValue> get_latest(Key k) const;
+
+  /// Installs `value` for `k` at `version`. Versions per key must be
+  /// non-decreasing (commits are applied in snapshot-counter order).
+  void put(Key k, std::string value, Version version);
+
+  /// Bulk load at version 0 (initial database population).
+  void load(Key k, std::string value) { put(k, std::move(value), 0); }
+
+  /// Drops every version newer than `horizon` (crash recovery rolls the
+  /// store back to the initial load, then deliveries are replayed).
+  void truncate_above(Version horizon);
+
+  /// Drops versions older than `horizon` for every key, keeping at least
+  /// the newest one (snapshot reads older than the horizon become
+  /// unanswerable; the certification window bounds how old a snapshot can
+  /// be anyway).
+  void gc(Version horizon);
+
+  std::size_t key_count() const { return map_.size(); }
+  std::size_t version_count() const { return versions_; }
+
+  /// Serializes the full store into a checkpoint / replaces it from one.
+  void encode(util::Writer& w) const;
+  void install(util::Reader& r);
+
+  /// All keys present in the store (unordered). For tests and tooling.
+  std::vector<Key> keys() const {
+    std::vector<Key> out;
+    out.reserve(map_.size());
+    for (const auto& [k, v] : map_) out.push_back(k);
+    return out;
+  }
+
+  /// All versions of a key in ascending version order (nullptr if absent).
+  /// Used by tests (e.g. to recover the per-key write order for the
+  /// serializability checker).
+  const std::vector<VersionedValue>* versions_of(Key k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  // Versions stored ascending; lookups binary-search from the back.
+  std::unordered_map<Key, std::vector<VersionedValue>> map_;
+  std::size_t versions_ = 0;
+};
+
+}  // namespace sdur::storage

@@ -1,0 +1,98 @@
+// Bloom filters for certification (paper Section V).
+//
+// The SDUR prototype broadcasts only hashes of a transaction's readset and
+// keeps the last K committed writesets as bloom filters. Intersection tests
+// between read/write sets then become bloom-filter queries, which trades a
+// small false-positive abort rate for large bandwidth and memory savings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace sdur::util {
+
+/// A fixed-size bloom filter over 64-bit keys.
+///
+/// Bit count and hash count are chosen at construction; `for_capacity`
+/// picks near-optimal parameters for a target element count and false
+/// positive rate.
+class BloomFilter {
+ public:
+  BloomFilter() : BloomFilter(64, 4) {}
+  BloomFilter(std::uint32_t bits, std::uint32_t hashes);
+
+  /// Sizes the filter for `n` expected elements at false-positive rate `fp`.
+  static BloomFilter for_capacity(std::size_t n, double fp);
+
+  void insert(std::uint64_t key);
+  bool may_contain(std::uint64_t key) const;
+
+  /// True if no element of `other` can be in this filter (guaranteed empty
+  /// intersection). False means the intersection *may* be non-empty.
+  bool disjoint(const BloomFilter& other) const;
+
+  bool empty() const { return count_ == 0; }
+  std::size_t count() const { return count_; }
+  std::uint32_t bit_count() const { return bits_; }
+  std::size_t byte_size() const { return words_.size() * 8; }
+
+  /// Estimated false-positive probability at the current fill level.
+  double estimated_fp_rate() const;
+
+  void clear();
+
+  void encode(Writer& w) const;
+  static BloomFilter decode(Reader& r);
+
+  bool operator==(const BloomFilter& other) const = default;
+
+ private:
+  void bit_positions(std::uint64_t key, std::uint32_t* out) const;
+
+  std::uint32_t bits_;
+  std::uint32_t hashes_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A set of 64-bit keys with a pluggable exact/bloom representation, used
+/// for certification records. In exact mode intersection tests are precise;
+/// in bloom mode they may report spurious overlap (false-positive aborts,
+/// as in the paper's prototype).
+class KeySet {
+ public:
+  /// Default: an empty exact set.
+  KeySet() = default;
+
+  /// Exact representation (sorted vector).
+  static KeySet exact(std::vector<std::uint64_t> keys);
+  /// Bloom representation sized for the given keys.
+  static KeySet bloom(const std::vector<std::uint64_t>& keys, double fp_rate = 0.01);
+
+  bool is_bloom() const { return is_bloom_; }
+  bool empty() const { return is_bloom_ ? bloom_.empty() : keys_.empty(); }
+  std::size_t size_hint() const { return is_bloom_ ? bloom_.count() : keys_.size(); }
+
+  /// True if the intersection with `other` is (possibly) non-empty.
+  bool intersects(const KeySet& other) const;
+
+  /// Membership test for a single key (may false-positive in bloom mode).
+  bool may_contain(std::uint64_t key) const;
+
+  /// Wire size: bloom mode ships only the filter bits.
+  void encode(Writer& w) const;
+  static KeySet decode(Reader& r);
+
+  /// Exact keys (only valid in exact mode; used by tests).
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+
+ private:
+  bool is_bloom_ = false;
+  std::vector<std::uint64_t> keys_;  // sorted, exact mode
+  BloomFilter bloom_;                // bloom mode
+};
+
+}  // namespace sdur::util

@@ -1,0 +1,94 @@
+// Byte-buffer codec used for all wire messages.
+//
+// Every protocol message in this repository is encoded through Writer and
+// decoded through Reader, so message formats are exercised end-to-end and
+// wire sizes are measurable (e.g. to quantify the bloom-filter bandwidth
+// saving the paper mentions in Section V).
+//
+// Encoding: little-endian fixed-width integers, LEB128 varints for counts,
+// and length-prefixed byte strings. Decoding is bounds-checked; a malformed
+// buffer throws CodecError rather than reading out of range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdur::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by Reader when a buffer is truncated or malformed.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends primitive values to a growable byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { fixed(v, 2); }
+  void u32(std::uint32_t v) { fixed(v, 4); }
+  void u64(std::uint64_t v) { fixed(v, 8); }
+  void i64(std::int64_t v) { fixed(static_cast<std::uint64_t>(v), 8); }
+
+  /// LEB128 variable-width unsigned integer (used for counts/sizes).
+  void varint(std::uint64_t v);
+
+  /// Length-prefixed byte string.
+  void bytes(std::string_view s);
+  void bytes(const Bytes& b);
+
+  /// Raw append without a length prefix (caller must know the size).
+  void raw(const void* data, std::size_t n);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  void fixed(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked sequential reader over an immutable byte span.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data), size_(n) {}
+  explicit Reader(const Bytes& b) : Reader(b.data(), b.size()) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(fixed(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(fixed(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(fixed(4)); }
+  std::uint64_t u64() { return fixed(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(fixed(8)); }
+
+  std::uint64_t varint();
+  std::string bytes();
+
+  /// Reads n raw bytes without a length prefix.
+  void raw(void* out, std::size_t n);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  std::uint64_t fixed(int n);
+  void need(std::size_t n) const {
+    if (pos_ + n > size_) throw CodecError("truncated buffer");
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sdur::util

@@ -1,0 +1,36 @@
+// Small, fast, non-cryptographic hash functions.
+//
+// Used by the bloom filters (Section V of the paper: servers exchange only
+// hashes of readsets) and by the hash partitioning scheme.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdur::util {
+
+/// 64-bit finalizer from SplitMix64; a good integer mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over arbitrary bytes.
+constexpr std::uint64_t fnv1a(std::string_view s, std::uint64_t seed = 0xCBF29CE484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Double hashing helper: derives the i-th hash from two base hashes.
+/// Kirsch & Mitzenmacher: h_i = h1 + i*h2 is sufficient for bloom filters.
+constexpr std::uint64_t nth_hash(std::uint64_t h1, std::uint64_t h2, std::uint32_t i) {
+  return h1 + static_cast<std::uint64_t>(i) * (h2 | 1);
+}
+
+}  // namespace sdur::util

@@ -1,0 +1,25 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace sdur::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const char* name = kNames[static_cast<int>(level)];
+  if (clock_) {
+    const std::int64_t t = clock_();
+    std::fprintf(stderr, "[%10.3fms] %-5s %s: %s\n", static_cast<double>(t) / 1000.0, name,
+                 component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "%-5s %s: %s\n", name, component.c_str(), message.c_str());
+  }
+}
+
+}  // namespace sdur::util

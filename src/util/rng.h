@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator (latency jitter, workload key
+// choice, client think times) draws from an Rng seeded from the experiment
+// seed, so whole experiments replay bit-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace sdur::util {
+
+/// xoshiro256** — fast, high-quality, 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      si = mix64(x);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fork an independent stream (for per-client generators).
+  Rng fork() { return Rng(next() ^ 0xA5A5A5A5A5A5A5A5ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace sdur::util

@@ -1,0 +1,48 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdur::util {
+
+double ZipfGenerator::zeta(std::uint64_t n, double theta) {
+  // Direct sum is fine: called once per generator, and n is bounded by the
+  // number of distinct keys in a partition.
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(std::max<std::uint64_t>(n, 1)), theta_(theta) {
+  // Cap the harmonic-sum length for very large keyspaces; beyond a few
+  // million terms the tail contribution is negligible for theta >= 0.5.
+  const std::uint64_t zn = std::min<std::uint64_t>(n_, 10'000'000);
+  zetan_ = zeta(zn, theta_);
+  if (zn < n_) {
+    // Approximate the remaining tail with the integral of x^-theta.
+    if (theta_ != 1.0) {
+      zetan_ += (std::pow(static_cast<double>(n_), 1 - theta_) -
+                 std::pow(static_cast<double>(zn), 1 - theta_)) /
+                (1 - theta_);
+    } else {
+      zetan_ += std::log(static_cast<double>(n_) / static_cast<double>(zn));
+    }
+  }
+  const double zeta2 = zeta(std::min<std::uint64_t>(n_, 2), theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfGenerator::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+}  // namespace sdur::util

@@ -1,0 +1,38 @@
+// Zipf-distributed key selection for skewed workloads.
+//
+// The paper's microbenchmark draws keys uniformly; the Zipf generator is
+// used by the ablation benches to study contention sensitivity (hotter keys
+// raise the certification abort rate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sdur::util {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^theta.
+/// Uses the Gray et al. computation with O(1) sampling after O(n)-free
+/// setup (rejection-inversion is avoided: we use the standard two-constant
+/// approximation which is exact in distribution).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace sdur::util

@@ -1,0 +1,124 @@
+#include "workload/history.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace sdur::workload {
+
+void SerializabilityChecker::add_committed(TxId id, std::vector<std::pair<Key, TxId>> reads,
+                                           std::vector<Key> writes) {
+  txs_.push_back(Tx{id, std::move(reads), std::move(writes)});
+}
+
+void SerializabilityChecker::set_key_order(Key k, std::vector<TxId> writers_in_order) {
+  key_order_[k] = std::move(writers_in_order);
+}
+
+bool SerializabilityChecker::check(std::string* why) const {
+  // Index transactions and validate writes against the recovered key orders.
+  std::unordered_map<TxId, std::size_t> index;
+  for (std::size_t i = 0; i < txs_.size(); ++i) index[txs_[i].id] = i;
+
+  // Per key: writer -> position in the version order.
+  std::unordered_map<Key, std::unordered_map<TxId, std::size_t>> position;
+  for (const auto& [k, order] : key_order_) {
+    auto& pos = position[k];
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (!index.contains(order[i])) {
+        if (why) {
+          std::ostringstream os;
+          os << "key " << k << " has installed version from unknown/uncommitted tx " << order[i];
+          *why = os.str();
+        }
+        return false;
+      }
+      pos[order[i]] = i;
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> adj(txs_.size());
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    if (a != b) adj[a].push_back(b);
+  };
+
+  // ww edges: consecutive writers in every key's version order.
+  for (const auto& [k, order] : key_order_) {
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      add_edge(index.at(order[i]), index.at(order[i + 1]));
+    }
+  }
+
+  // wr and rw edges.
+  for (std::size_t r = 0; r < txs_.size(); ++r) {
+    for (const auto& [k, writer] : txs_[r].reads) {
+      auto ko = key_order_.find(k);
+      const std::vector<TxId>* order = ko == key_order_.end() ? nullptr : &ko->second;
+      if (writer != 0) {
+        auto it = index.find(writer);
+        if (it == index.end()) {
+          if (why) {
+            std::ostringstream os;
+            os << "tx " << txs_[r].id << " read key " << k << " from uncommitted tx " << writer;
+            *why = os.str();
+          }
+          return false;  // dirty read: observed a write of an aborted tx
+        }
+        add_edge(it->second, r);  // wr
+        if (order) {
+          auto pos = position[k].find(writer);
+          if (pos == position[k].end()) {
+            if (why) {
+              std::ostringstream os;
+              os << "tx " << txs_[r].id << " read key " << k << " version from tx " << writer
+                 << " which is not in the installed order";
+              *why = os.str();
+            }
+            return false;
+          }
+          if (pos->second + 1 < order->size()) {
+            add_edge(r, index.at((*order)[pos->second + 1]));  // rw
+          }
+        }
+      } else if (order && !order->empty()) {
+        add_edge(r, index.at(order->front()));  // read initial -> first writer
+      }
+    }
+  }
+
+  // Cycle detection (iterative DFS, 0=white 1=grey 2=black).
+  std::vector<int> color(txs_.size(), 0);
+  std::vector<std::size_t> parent(txs_.size(), SIZE_MAX);
+  for (std::size_t s = 0; s < txs_.size(); ++s) {
+    if (color[s] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{s, 0}};
+    color[s] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[u].size()) {
+        const std::size_t v = adj[u][next++];
+        if (color[v] == 0) {
+          color[v] = 1;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == 1) {
+          if (why) {
+            std::ostringstream os;
+            os << "cycle: tx " << txs_[v].id;
+            for (std::size_t w = u; w != SIZE_MAX && w != v; w = parent[w]) {
+              os << " <- tx " << txs_[w].id;
+            }
+            os << " <- tx " << txs_[v].id;
+            *why = os.str();
+          }
+          return false;
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sdur::workload

@@ -1,0 +1,85 @@
+#include "workload/ycsb.h"
+
+#include "util/zipf.h"
+
+namespace sdur::workload {
+
+void YcsbWorkload::populate(Deployment& dep, util::Rng& rng) {
+  (void)rng;
+  const std::uint64_t total = cfg_.records_per_partition * dep.partition_count();
+  for (std::uint64_t k = 0; k < total; ++k) {
+    dep.load(k, std::string(cfg_.value_size, 'y'));
+  }
+}
+
+namespace {
+
+class YcsbSession final : public Session {
+ public:
+  YcsbSession(Client& client, util::Rng rng, Recorder& rec, const YcsbConfig& cfg,
+              PartitionId partitions)
+      : client_(client),
+        rng_(rng),
+        rec_(rec),
+        cfg_(cfg),
+        partitions_(partitions),
+        zipf_(cfg.records_per_partition * partitions, cfg.zipf_theta) {}
+
+  void start() override { next(); }
+
+ private:
+  Key pick_key() { return zipf_.sample(rng_); }
+
+  void next() {
+    if (cfg_.keep_running && !cfg_.keep_running()) return;
+    if (rng_.chance(cfg_.update_fraction())) {
+      update();
+    } else {
+      read();
+    }
+  }
+
+  void finish(const char* cls, Outcome outcome, sim::Time begin) {
+    const sim::Time now = client_.now();
+    rec_.record(cls, outcome, now - begin, now);
+    next();
+  }
+
+  void read() {
+    const Key k = pick_key();
+    client_.begin();
+    const sim::Time begin = client_.now();
+    client_.read(k, [this, begin](bool, const std::string&) {
+      // Single-key snapshot read: commits locally without certification.
+      client_.commit([this, begin](Outcome o) { finish("read", o, begin); });
+    });
+  }
+
+  void update() {
+    const Key k = pick_key();
+    client_.begin();
+    const sim::Time begin = client_.now();
+    client_.read(k, [this, k, begin](bool, const std::string&) {
+      client_.write(k, std::string(cfg_.value_size, 'z'));
+      client_.commit([this, begin](Outcome o) { finish("update", o, begin); });
+    });
+  }
+
+  Client& client_;
+  util::Rng rng_;
+  Recorder& rec_;
+  const YcsbConfig& cfg_;
+  PartitionId partitions_;
+  util::ZipfGenerator zipf_;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> YcsbWorkload::make_session(Client& client, PartitionId home,
+                                                    PartitionId partitions, util::Rng rng,
+                                                    Recorder& rec) {
+  (void)home;
+  return std::make_unique<YcsbSession>(client, rng, rec, cfg_, partitions);
+}
+
+}  // namespace sdur::workload

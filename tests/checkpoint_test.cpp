@@ -1,0 +1,257 @@
+// Checkpointing, log truncation and state transfer tests: the durable-log
+// API, Paxos-level transfer of truncated prefixes, and full SDUR-server
+// checkpoint/restore including the deterministic certifier state.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sdur/deployment.h"
+#include "workload/driver.h"
+#include "workload/microbench.h"
+
+namespace sdur {
+namespace {
+
+using paxos::InMemoryDurableLog;
+using paxos::Value;
+
+Value bytes_of(const char* s) {
+  return Value(reinterpret_cast<const std::uint8_t*>(s),
+               reinterpret_cast<const std::uint8_t*>(s) + std::strlen(s));
+}
+
+TEST(DurableLogCheckpoint, SaveLoadAndTruncate) {
+  InMemoryDurableLog log;
+  for (paxos::InstanceId i = 0; i < 10; ++i) {
+    log.save_accepted(i, paxos::Ballot::make(1, 0), bytes_of("v"));
+    log.save_decided(i, bytes_of("v"));
+  }
+  EXPECT_EQ(log.decided_prefix(), 10u);
+  EXPECT_EQ(log.first_retained(), 0u);
+
+  log.save_checkpoint(bytes_of("state"), 7);
+  log.truncate_below(7);
+  EXPECT_EQ(log.first_retained(), 7u);
+  EXPECT_FALSE(log.load_decided(6).has_value());
+  EXPECT_TRUE(log.load_decided(7).has_value());
+  EXPECT_TRUE(log.accepted_from(0).begin()->first >= 7);
+  EXPECT_EQ(log.decided_prefix(), 10u) << "prefix counts from the truncation point";
+
+  const auto cp = log.load_checkpoint();
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->second, 7u);
+  EXPECT_EQ(cp->first, bytes_of("state"));
+}
+
+TEST(CertifierCheckpoint, EncodeInstallRoundTrip) {
+  Certifier a(100);
+  PartTx g;
+  g.id = 1;
+  g.involved = {0, 1};
+  g.snapshot = 0;
+  g.readset = util::KeySet::exact({1});
+  g.write_keys = util::KeySet::exact({1});
+  g.writes = {{1, "g"}};
+  PartTx l = g;
+  l.id = 2;
+  l.involved = {0};
+  l.readset = util::KeySet::exact({2});
+  l.write_keys = util::KeySet::exact({2});
+
+  ASSERT_EQ(a.process(g, 10, 1).outcome, Outcome::kCommit);
+  ASSERT_EQ(a.process(l, 11, 2).outcome, Outcome::kCommit);
+  a.resolve(a.pop_head(), true);  // the reordered local resolves
+
+  util::Writer w;
+  a.encode(w);
+  Certifier b(100);
+  util::Reader r(w.data());
+  b.install(r);
+
+  EXPECT_EQ(b.certified(), a.certified());
+  EXPECT_EQ(b.stable(), a.stable());
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.head().tx.id, 1u);
+  EXPECT_EQ(b.head().rt, 10u);
+  EXPECT_EQ(b.head().version, 1);
+  ASSERT_NE(b.slot(2), nullptr);
+  EXPECT_EQ(b.slot(2)->status, Certifier::SlotStatus::kCommitted);
+  EXPECT_EQ(b.slot(1)->status, Certifier::SlotStatus::kPending);
+
+  // Certification decisions continue identically on both.
+  PartTx t3 = l;
+  t3.id = 3;
+  t3.snapshot = 0;
+  const auto ra = a.process(t3, 20, 3);
+  const auto rb = b.process(t3, 20, 3);
+  EXPECT_EQ(ra.outcome, rb.outcome);
+  EXPECT_EQ(ra.version, rb.version);
+}
+
+struct CheckpointFixture {
+  std::unique_ptr<Deployment> dep;
+
+  explicit CheckpointFixture(sim::Time checkpoint_interval) {
+    DeploymentSpec spec;
+    spec.partitions = 2;
+    spec.partitioning = std::make_shared<RangePartitioning>(2, 1000);
+    spec.log_write_latency = sim::usec(200);
+    spec.server.checkpoint_interval = checkpoint_interval;
+    dep = std::make_unique<Deployment>(spec);
+    for (Key k = 0; k < 50; ++k) dep->load(k, "a" + std::to_string(k));
+    for (Key k = 1000; k < 1050; ++k) dep->load(k, "b" + std::to_string(k));
+    dep->start();
+  }
+
+  void run_for(sim::Time t) { dep->run_until(dep->simulator().now() + t); }
+
+  Outcome update(Client& c, std::vector<Key> keys, const std::string& value) {
+    Outcome result = Outcome::kUnknown;
+    c.begin();
+    c.read_many(keys, [&, keys](auto) {
+      for (Key k : keys) c.write(k, value);
+      c.commit([&](Outcome o) { result = o; });
+    });
+    run_for(sim::sec(5));
+    return result;
+  }
+
+  void assert_partition_converged(PartitionId p) {
+    Server& ref = dep->server(p, 0);
+    for (std::uint32_t rep = 1; rep < 3; ++rep) {
+      Server& other = dep->server(p, rep);
+      ASSERT_EQ(ref.sc(), other.sc()) << "replica " << rep;
+      for (Key k : ref.store().keys()) {
+        auto a = ref.store().get_latest(k);
+        auto b = other.store().get_latest(k);
+        ASSERT_TRUE(b.has_value()) << "key " << k;
+        ASSERT_EQ(a->value, b->value) << "key " << k;
+      }
+    }
+  }
+};
+
+TEST(ServerCheckpoint, PeriodicCheckpointsTruncateTheLog) {
+  CheckpointFixture f(sim::msec(500));
+  f.run_for(sim::msec(400));
+  Client& c = f.dep->add_client(0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(f.update(c, {static_cast<Key>(i)}, "x"), Outcome::kCommit);
+  }
+  f.run_for(sim::sec(2));  // let a checkpoint fire after the traffic
+  Server& s = f.dep->server(0, 0);
+  EXPECT_GT(s.engine().stats().checkpoints, 0u);
+  EXPECT_GT(s.engine().log().first_retained(), 0u) << "log prefix was truncated";
+  EXPECT_TRUE(s.engine().log().load_checkpoint().has_value());
+}
+
+TEST(ServerCheckpoint, RecoveryRestoresFromCheckpointNotFullReplay) {
+  CheckpointFixture f(sim::msec(500));
+  f.run_for(sim::msec(400));
+  Client& c = f.dep->add_client(0);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_EQ(f.update(c, {static_cast<Key>(i)}, "v1"), Outcome::kCommit);
+  }
+  f.run_for(sim::sec(2));  // checkpoint covers the 15 commits
+
+  Server& victim = f.dep->server(0, 1);
+  victim.crash();
+  ASSERT_EQ(f.update(c, {30, 31}, "after-crash"), Outcome::kCommit);
+  victim.recover();
+  f.run_for(sim::sec(5));
+
+  EXPECT_EQ(victim.store().get_latest(5)->value, "v1");
+  EXPECT_EQ(victim.store().get_latest(30)->value, "after-crash");
+  f.assert_partition_converged(0);
+  // Replay was bounded: far fewer deliveries processed than total commits.
+  EXPECT_LT(victim.stats().delivered, 15u) << "recovery replayed only the post-checkpoint tail";
+}
+
+TEST(ServerCheckpoint, LaggingReplicaGetsStateTransfer) {
+  CheckpointFixture f(sim::msec(300));
+  f.run_for(sim::msec(400));
+  Client& c = f.dep->add_client(0);
+
+  // Cut replica (0,2) off, then commit enough traffic for checkpoints to
+  // truncate the log past everything it missed.
+  Server& lagger = f.dep->server(0, 2);
+  f.dep->network().isolate(lagger.self());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_EQ(f.update(c, {static_cast<Key>(i)}, "gen2"), Outcome::kCommit);
+  }
+  f.run_for(sim::sec(2));
+  ASSERT_GT(f.dep->server(0, 0).engine().log().first_retained(), 0u);
+
+  f.dep->network().heal(lagger.self());
+  f.run_for(sim::sec(8));
+
+  EXPECT_GT(lagger.engine().stats().state_transfers_installed, 0u)
+      << "the truncated prefix must arrive as a checkpoint";
+  EXPECT_EQ(lagger.store().get_latest(5)->value, "gen2");
+  f.assert_partition_converged(0);
+
+  // And the healed replica keeps participating normally afterwards.
+  ASSERT_EQ(f.update(c, {40, 41}, "gen3"), Outcome::kCommit);
+  f.run_for(sim::sec(2));
+  EXPECT_EQ(lagger.store().get_latest(40)->value, "gen3");
+}
+
+TEST(ServerCheckpoint, WorkloadWithCheckpointsStaysSerializableAndConverges) {
+  DeploymentSpec spec;
+  spec.partitions = 2;
+  spec.partitioning = workload::MicroWorkload::make_partitioning(2, 50);
+  spec.log_write_latency = sim::usec(300);
+  spec.server.checkpoint_interval = sim::msec(400);
+  Deployment dep(spec);
+
+  workload::SerializabilityChecker checker;
+  workload::RunConfig cfg;
+  cfg.clients = 12;
+  cfg.warmup = sim::msec(500);
+  cfg.measure = sim::sec(5);
+  const sim::Time stop_at = cfg.settle + cfg.warmup + cfg.measure;
+
+  workload::MicroConfig mc;
+  mc.items_per_partition = 50;
+  mc.global_fraction = 0.3;
+  mc.commit_hook = [&](TxId id, std::vector<std::pair<Key, TxId>> reads, std::vector<Key> writes) {
+    checker.add_committed(id, std::move(reads), std::move(writes));
+  };
+  mc.keep_running = [&dep, stop_at] { return dep.simulator().now() < stop_at; };
+  workload::MicroWorkload wl(mc);
+
+  // Crash and recover a replica mid-run so recovery uses a checkpoint
+  // while traffic continues.
+  dep.simulator().schedule_at(sim::sec(3), [&] { dep.server(0, 1).crash(); });
+  dep.simulator().schedule_at(sim::sec(4), [&] { dep.server(0, 1).recover(); });
+
+  workload::run_experiment(dep, wl, cfg);
+  dep.run_until(dep.simulator().now() + sim::sec(20));
+
+  for (Server* s : dep.servers()) ASSERT_EQ(s->pending_count(), 0u) << s->name();
+  ASSERT_GT(dep.server(0, 0).engine().stats().checkpoints, 0u);
+
+  for (PartitionId p = 0; p < 2; ++p) {
+    Server& ref = dep.server(p, 0);
+    for (Key k : ref.store().keys()) {
+      const auto* versions = ref.store().versions_of(k);
+      std::vector<TxId> order;
+      for (const auto& vv : *versions) {
+        if (vv.version == 0) continue;
+        order.push_back(workload::MicroWorkload::decode_writer(vv.value));
+      }
+      checker.set_key_order(k, order);
+      for (std::uint32_t rep = 1; rep < 3; ++rep) {
+        auto latest_ref = ref.store().get_latest(k);
+        auto latest_other = dep.server(p, rep).store().get_latest(k);
+        ASSERT_TRUE(latest_other.has_value());
+        ASSERT_EQ(latest_ref->value, latest_other->value) << "key " << k;
+      }
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(checker.check(&why)) << why;
+}
+
+}  // namespace
+}  // namespace sdur

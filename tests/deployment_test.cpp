@@ -1,0 +1,154 @@
+// Deployment builder tests: server placement, leader location, routing
+// tables and delay estimates for the paper's LAN / WAN 1 / WAN 2 setups.
+#include <gtest/gtest.h>
+
+#include "sdur/deployment.h"
+
+namespace sdur {
+namespace {
+
+DeploymentSpec spec_for(DeploymentSpec::Kind kind, PartitionId partitions = 2) {
+  DeploymentSpec spec;
+  spec.kind = kind;
+  spec.partitions = partitions;
+  spec.partitioning = std::make_shared<RangePartitioning>(partitions, 1000);
+  return spec;
+}
+
+std::uint16_t region_of(Deployment& dep, Server& s) {
+  return dep.network().topology().location(s.self()).region;
+}
+
+TEST(Deployment, LanPutsEveryoneInOneRegion) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kLan));
+  for (Server* s : dep.servers()) EXPECT_EQ(region_of(dep, *s), 0);
+}
+
+TEST(Deployment, Wan1MajorityInHomeRegion) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kWan1));
+  // Partition 0: home EU; replicas 0,1 in EU (distinct DCs), replica 2 away.
+  EXPECT_EQ(dep.home_region(0), sim::kEU);
+  EXPECT_EQ(dep.home_region(1), sim::kUSEast);
+  EXPECT_EQ(region_of(dep, dep.server(0, 0)), sim::kEU);
+  EXPECT_EQ(region_of(dep, dep.server(0, 1)), sim::kEU);
+  EXPECT_EQ(region_of(dep, dep.server(0, 2)), sim::kUSEast)
+      << "the minority replica serves reads near the other region";
+  // Partition 1 mirrors it.
+  EXPECT_EQ(region_of(dep, dep.server(1, 0)), sim::kUSEast);
+  EXPECT_EQ(region_of(dep, dep.server(1, 1)), sim::kUSEast);
+  EXPECT_EQ(region_of(dep, dep.server(1, 2)), sim::kEU);
+
+  // Distinct availability zones within the home region (paper Section VI-A).
+  const auto l0 = dep.network().topology().location(dep.server(0, 0).self());
+  const auto l1 = dep.network().topology().location(dep.server(0, 1).self());
+  EXPECT_NE(l0.datacenter, l1.datacenter);
+}
+
+TEST(Deployment, Wan2OneReplicaPerRegion) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kWan2));
+  for (PartitionId p = 0; p < 2; ++p) {
+    std::set<std::uint16_t> regions;
+    for (std::uint32_t r = 0; r < 3; ++r) regions.insert(region_of(dep, dep.server(p, r)));
+    EXPECT_EQ(regions.size(), 3u) << "partition " << p << " must span all regions";
+    EXPECT_EQ(region_of(dep, dep.server(p, 0)), dep.home_region(p))
+        << "the bootstrap leader sits in the partition's home region";
+  }
+}
+
+TEST(Deployment, BootstrapLeaderIsReplicaZero) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kWan1));
+  dep.start();
+  dep.run_until(sim::msec(1000));
+  for (PartitionId p = 0; p < 2; ++p) {
+    EXPECT_TRUE(dep.server(p, 0).engine().is_leader()) << "partition " << p;
+  }
+}
+
+TEST(Deployment, ReadsRouteToNearestReplica) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kWan1));
+  // An EU server of partition 0 routing a read for partition 1 must pick
+  // partition 1's EU replica (index 2), not the US-EAST leader.
+  const Server& eu_server = dep.server(0, 0);
+  const sim::ProcessId target = eu_server.config().read_route.at(1);
+  EXPECT_EQ(target, dep.server(1, 2).self());
+}
+
+TEST(Deployment, DelayEstimatesMatchRegionDistances) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kWan1));
+  const auto& est = dep.server(0, 0).config().partition_delay_estimate;
+  ASSERT_EQ(est.size(), 2u);
+  EXPECT_EQ(est[0], 0) << "own partition";
+  EXPECT_EQ(est[1], sim::msec(45)) << "EU -> US-EAST one-way";
+}
+
+TEST(Deployment, ClientHomingUsesHomeRegionAndLeader) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kWan1));
+  dep.start();
+  Client& c0 = dep.add_client(0);
+  Client& c1 = dep.add_client(1);
+  EXPECT_EQ(dep.network().topology().location(c0.self()).region, sim::kEU);
+  EXPECT_EQ(dep.network().topology().location(c1.self()).region, sim::kUSEast);
+}
+
+TEST(Deployment, RejectsMismatchedPartitioning) {
+  DeploymentSpec spec = spec_for(DeploymentSpec::Kind::kLan, 2);
+  spec.partitioning = std::make_shared<RangePartitioning>(4, 1000);  // wrong count
+  EXPECT_THROW(Deployment dep(std::move(spec)), std::invalid_argument);
+}
+
+TEST(Deployment, RequiresPartitioning) {
+  DeploymentSpec spec;
+  spec.partitions = 2;
+  EXPECT_THROW(Deployment dep(std::move(spec)), std::invalid_argument);
+}
+
+TEST(Deployment, ManyPartitionsGetDistinctGroups) {
+  Deployment dep(spec_for(DeploymentSpec::Kind::kLan, 8));
+  std::set<sim::ProcessId> pids;
+  for (Server* s : dep.servers()) pids.insert(s->self());
+  EXPECT_EQ(pids.size(), 24u);
+  EXPECT_EQ(dep.partition_count(), 8u);
+}
+
+// Whole-run determinism: two deployments driven by identical seeds produce
+// bit-identical end states — the foundation for reproducible experiments.
+TEST(Deployment, IdenticalSeedsGiveIdenticalRuns) {
+  auto run_once = [] {
+    DeploymentSpec spec = spec_for(DeploymentSpec::Kind::kWan1);
+    spec.seed = 99;
+    Deployment dep(spec);
+    for (Key k = 0; k < 100; ++k) dep.load(k, "x");
+    for (Key k = 1000; k < 1100; ++k) dep.load(k, "x");
+    dep.start();
+    Client& c = dep.add_client(0);
+    util::Rng rng(5);
+    dep.run_until(sim::msec(400));
+    for (int i = 0; i < 30; ++i) {
+      const Key k1 = rng.below(100);
+      const Key k2 = 1000 + rng.below(100);
+      c.begin();
+      c.read_many({k1, k2}, [&c, k1, k2, i](auto) {
+        c.write(k1, "t" + std::to_string(i));
+        c.write(k2, "t" + std::to_string(i));
+        c.commit([](Outcome) {});
+      });
+      dep.run_until(dep.simulator().now() + sim::msec(400));
+    }
+    dep.run_until(dep.simulator().now() + sim::sec(2));
+    // Fingerprint: versions and values of every key on every replica plus
+    // final virtual time and event count.
+    std::string fp = std::to_string(dep.simulator().events_processed());
+    for (Server* s : dep.servers()) {
+      fp += "|" + std::to_string(s->sc());
+      for (Key k : {Key{1}, Key{50}, Key{1001}, Key{1050}}) {
+        auto v = s->store().get_latest(k);
+        if (v) fp += "," + std::to_string(v->version) + ":" + v->value;
+      }
+    }
+    return fp;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sdur

@@ -1,0 +1,137 @@
+// Unit tests for the storage layer: multiversion store and the
+// certification commit window.
+#include <gtest/gtest.h>
+
+#include "storage/commit_window.h"
+#include "storage/mvstore.h"
+
+namespace sdur::storage {
+namespace {
+
+TEST(MVStore, SnapshotReadsSeeRightVersion) {
+  MVStore s;
+  s.load(1, "v0");
+  s.put(1, "v5", 5);
+  s.put(1, "v9", 9);
+
+  EXPECT_EQ(s.get(1, 0)->value, "v0");
+  EXPECT_EQ(s.get(1, 4)->value, "v0");
+  EXPECT_EQ(s.get(1, 5)->value, "v5");
+  EXPECT_EQ(s.get(1, 8)->value, "v5");
+  EXPECT_EQ(s.get(1, 9)->value, "v9");
+  EXPECT_EQ(s.get(1, 100)->value, "v9");
+  EXPECT_EQ(s.get_latest(1)->version, 9);
+}
+
+TEST(MVStore, MissingKey) {
+  MVStore s;
+  EXPECT_FALSE(s.get(42, 100).has_value());
+  EXPECT_FALSE(s.get_latest(42).has_value());
+}
+
+TEST(MVStore, SameVersionOverwrites) {
+  MVStore s;
+  s.put(1, "a", 3);
+  s.put(1, "b", 3);
+  EXPECT_EQ(s.get(1, 3)->value, "b");
+  EXPECT_EQ(s.version_count(), 1u);
+}
+
+TEST(MVStore, VersionRegressionThrows) {
+  MVStore s;
+  s.put(1, "a", 5);
+  EXPECT_THROW(s.put(1, "b", 4), std::logic_error);
+}
+
+TEST(MVStore, GcKeepsNewestReadableAtHorizon) {
+  MVStore s;
+  s.put(1, "v1", 1);
+  s.put(1, "v5", 5);
+  s.put(1, "v9", 9);
+  s.gc(6);
+  // v5 is the newest version <= 6 and must stay readable; v1 may go.
+  EXPECT_EQ(s.get(1, 6)->value, "v5");
+  EXPECT_EQ(s.get(1, 100)->value, "v9");
+  EXPECT_EQ(s.version_count(), 2u);
+  EXPECT_FALSE(s.get(1, 1).has_value()) << "pre-horizon version was collected";
+}
+
+TEST(MVStore, TruncateAboveRollsBack) {
+  MVStore s;
+  s.load(1, "init");
+  s.put(1, "v3", 3);
+  s.put(2, "only-new", 2);
+  s.truncate_above(0);
+  EXPECT_EQ(s.get(1, 100)->value, "init");
+  EXPECT_FALSE(s.get(2, 100).has_value());
+}
+
+TEST(MVStore, VersionsOfExposesOrder) {
+  MVStore s;
+  s.put(7, "a", 1);
+  s.put(7, "b", 2);
+  const auto* versions = s.versions_of(7);
+  ASSERT_NE(versions, nullptr);
+  ASSERT_EQ(versions->size(), 2u);
+  EXPECT_EQ((*versions)[0].version, 1);
+  EXPECT_EQ((*versions)[1].version, 2);
+  EXPECT_EQ(s.versions_of(8), nullptr);
+}
+
+CommitRecord rec(std::uint64_t id, std::vector<std::uint64_t> rs, std::vector<std::uint64_t> ws) {
+  return CommitRecord{id, false, util::KeySet::exact(std::move(rs)),
+                      util::KeySet::exact(std::move(ws))};
+}
+
+TEST(CommitWindow, ScanAfterVisitsOnlyNewerCommits) {
+  CommitWindow w(10);
+  w.push(1, rec(101, {1}, {1}));
+  w.push(2, rec(102, {2}, {2}));
+  w.push(3, rec(103, {3}, {3}));
+
+  std::vector<std::uint64_t> seen;
+  w.scan_after(1, [&](const CommitRecord& r) {
+    seen.push_back(r.txid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{102, 103}));
+}
+
+TEST(CommitWindow, ScanStopsEarly) {
+  CommitWindow w(10);
+  w.push(1, rec(101, {}, {}));
+  w.push(2, rec(102, {}, {}));
+  int visits = 0;
+  const bool complete = w.scan_after(0, [&](const CommitRecord&) {
+    ++visits;
+    return false;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(CommitWindow, CapacityEvictsOldest) {
+  CommitWindow w(3);
+  for (Version v = 1; v <= 5; ++v) w.push(v, rec(100 + static_cast<std::uint64_t>(v), {}, {}));
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.oldest(), 3);
+  EXPECT_EQ(w.newest(), 5);
+}
+
+TEST(CommitWindow, CoversTracksEviction) {
+  CommitWindow w(3);
+  EXPECT_TRUE(w.covers(0));
+  for (Version v = 1; v <= 5; ++v) w.push(v, rec(1, {}, {}));
+  EXPECT_TRUE(w.covers(2)) << "commits (2, 5] are all present";
+  EXPECT_TRUE(w.covers(4));
+  EXPECT_FALSE(w.covers(1)) << "commit at version 2 was evicted";
+}
+
+TEST(CommitWindow, NonContiguousPushThrows) {
+  CommitWindow w(10);
+  w.push(1, rec(1, {}, {}));
+  EXPECT_THROW(w.push(3, rec(2, {}, {})), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sdur::storage

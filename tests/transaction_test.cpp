@@ -1,0 +1,169 @@
+// Codec and model tests: Transaction, PartTx, SDUR wire messages,
+// partitioning schemes.
+#include <gtest/gtest.h>
+
+#include "sdur/messages.h"
+#include "sdur/partitioning.h"
+#include "sdur/transaction.h"
+
+namespace sdur {
+namespace {
+
+TEST(Transaction, SnapshotVector) {
+  Transaction t;
+  EXPECT_EQ(t.snapshot_of(0), kNoSnapshot);
+  t.set_snapshot(2, 17);
+  t.set_snapshot(0, 5);
+  t.set_snapshot(2, 18);  // overwrite
+  EXPECT_EQ(t.snapshot_of(2), 18);
+  EXPECT_EQ(t.snapshot_of(0), 5);
+  EXPECT_EQ(t.snapshot_of(1), kNoSnapshot);
+}
+
+TEST(Transaction, EncodeDecodeRoundTrip) {
+  Transaction t;
+  t.id = 0xABCDEF01;
+  t.client = 77;
+  t.set_snapshot(0, 12);
+  t.set_snapshot(3, -1);
+  t.readset = {1, 2, 3};
+  t.writeset = {{2, "two"}, {3, std::string("\0\x01binary", 8)}};
+
+  util::Writer w;
+  t.encode(w);
+  util::Reader r(w.data());
+  const Transaction d = Transaction::decode(r);
+  EXPECT_EQ(d.id, t.id);
+  EXPECT_EQ(d.client, t.client);
+  EXPECT_EQ(d.snapshot_of(0), 12);
+  EXPECT_EQ(d.readset, t.readset);
+  ASSERT_EQ(d.writeset.size(), 2u);
+  EXPECT_EQ(d.writeset[1].value, t.writeset[1].value);
+}
+
+TEST(PartTx, TxnRoundTrip) {
+  PartTx t;
+  t.kind = PartTx::Kind::kTxn;
+  t.id = 99;
+  t.client = 5;
+  t.contact = 6;
+  t.involved = {0, 2};
+  t.snapshot = 41;
+  t.readset = util::KeySet::exact({10, 11});
+  t.write_keys = util::KeySet::exact({11});
+  t.writes = {{11, "x"}};
+
+  const PartTx d = PartTx::decode(t.encode());
+  EXPECT_EQ(d.kind, PartTx::Kind::kTxn);
+  EXPECT_EQ(d.id, 99u);
+  EXPECT_EQ(d.client, 5u);
+  EXPECT_EQ(d.contact, 6u);
+  EXPECT_EQ(d.involved, (std::vector<PartitionId>{0, 2}));
+  EXPECT_EQ(d.snapshot, 41);
+  EXPECT_TRUE(d.is_global());
+  EXPECT_TRUE(d.readset.may_contain(10));
+  EXPECT_FALSE(d.readset.may_contain(12));
+  ASSERT_EQ(d.writes.size(), 1u);
+  EXPECT_EQ(d.writes[0].value, "x");
+}
+
+TEST(PartTx, BloomReadsetRoundTrip) {
+  PartTx t;
+  t.kind = PartTx::Kind::kTxn;
+  t.id = 1;
+  t.involved = {0};
+  std::vector<Key> rs;
+  for (Key k = 0; k < 100; ++k) rs.push_back(k);
+  t.readset = util::KeySet::bloom(rs, 0.01);
+  const PartTx d = PartTx::decode(t.encode());
+  EXPECT_TRUE(d.readset.is_bloom());
+  for (Key k = 0; k < 100; ++k) EXPECT_TRUE(d.readset.may_contain(k));
+}
+
+TEST(PartTx, TickRoundTrip) {
+  const PartTx d = PartTx::decode(PartTx::make_tick().encode());
+  EXPECT_EQ(d.kind, PartTx::Kind::kTick);
+}
+
+TEST(PartTx, AbortRequestRoundTrip) {
+  const PartTx d = PartTx::decode(PartTx::make_abort_request(123, {1, 3}).encode());
+  EXPECT_EQ(d.kind, PartTx::Kind::kAbortRequest);
+  EXPECT_EQ(d.id, 123u);
+  EXPECT_EQ(d.involved, (std::vector<PartitionId>{1, 3}));
+}
+
+TEST(Messages, VoteRoundTrip) {
+  const VoteMsg m{42, 3, Outcome::kAbort};
+  const sim::Message wire = m.to_message();
+  util::Reader r(wire.payload);
+  const VoteMsg d = VoteMsg::decode(r);
+  EXPECT_EQ(d.id, 42u);
+  EXPECT_EQ(d.partition, 3u);
+  EXPECT_EQ(d.vote, Outcome::kAbort);
+}
+
+TEST(Messages, ReadReqRespRoundTrip) {
+  const ReadReqMsg req{7, 1234, -1};
+  const sim::Message wire1 = req.to_message();
+  util::Reader r1(wire1.payload);
+  const ReadReqMsg dreq = ReadReqMsg::decode(r1);
+  EXPECT_EQ(dreq.reqid, 7u);
+  EXPECT_EQ(dreq.snapshot, -1);
+
+  const ReadRespMsg resp{7, 1234, true, "value", 55};
+  const sim::Message wire2 = resp.to_message();
+  util::Reader r2(wire2.payload);
+  const ReadRespMsg dresp = ReadRespMsg::decode(r2);
+  EXPECT_TRUE(dresp.found);
+  EXPECT_EQ(dresp.value, "value");
+  EXPECT_EQ(dresp.snapshot, 55);
+}
+
+TEST(Messages, SnapshotRespRoundTrip) {
+  SnapshotRespMsg m;
+  m.reqid = 9;
+  m.snapshot = {10, -1, 30};
+  const sim::Message wire = m.to_message();
+  util::Reader r(wire.payload);
+  const SnapshotRespMsg d = SnapshotRespMsg::decode(r);
+  EXPECT_EQ(d.snapshot, (std::vector<Version>{10, -1, 30}));
+}
+
+TEST(Partitioning, RangeScheme) {
+  RangePartitioning p(4, 100);
+  EXPECT_EQ(p.partition_of(0), 0u);
+  EXPECT_EQ(p.partition_of(99), 0u);
+  EXPECT_EQ(p.partition_of(100), 1u);
+  EXPECT_EQ(p.partition_of(399), 3u);
+  EXPECT_EQ(p.partition_of(100'000), 3u) << "clamped to last partition";
+}
+
+TEST(Partitioning, HashSchemeGroupsByPrefix) {
+  HashPartitioning p(8, 3);
+  for (Key base = 0; base < 100; ++base) {
+    const PartitionId expected = p.partition_of(base << 3);
+    for (Key off = 1; off < 8; ++off) {
+      EXPECT_EQ(p.partition_of((base << 3) | off), expected)
+          << "all keys sharing a prefix land together";
+    }
+  }
+}
+
+TEST(Partitioning, HashSchemeBalances) {
+  HashPartitioning p(4, 0);
+  std::vector<int> counts(4, 0);
+  for (Key k = 0; k < 40'000; ++k) ++counts[p.partition_of(k)];
+  for (int c : counts) {
+    EXPECT_GT(c, 8'000);
+    EXPECT_LT(c, 12'000);
+  }
+}
+
+TEST(OutcomeNames, ToString) {
+  EXPECT_STREQ(to_string(Outcome::kCommit), "commit");
+  EXPECT_STREQ(to_string(Outcome::kAbort), "abort");
+  EXPECT_STREQ(to_string(Outcome::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace sdur

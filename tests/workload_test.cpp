@@ -1,0 +1,177 @@
+// Unit tests for the workload module: the serializability checker itself,
+// the recorder, the social-network codecs and the microbenchmark value
+// tagging.
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+#include "workload/history.h"
+#include "workload/microbench.h"
+#include "workload/social.h"
+
+namespace sdur::workload {
+namespace {
+
+// --- SerializabilityChecker ----------------------------------------------------
+
+TEST(Checker, EmptyHistoryIsSerializable) {
+  SerializabilityChecker c;
+  EXPECT_TRUE(c.check());
+}
+
+TEST(Checker, SimpleChainIsSerializable) {
+  SerializabilityChecker c;
+  // t1 writes k after reading initial; t2 reads t1's version and writes.
+  c.add_committed(1, {{7, 0}}, {7});
+  c.add_committed(2, {{7, 1}}, {7});
+  c.set_key_order(7, {1, 2});
+  EXPECT_TRUE(c.check());
+}
+
+TEST(Checker, LostUpdateCycleDetected) {
+  SerializabilityChecker c;
+  // Classic lost update: both read the initial version of k, both write.
+  // rw: t1 -> t2 (t1 read the version before t2's write) and ww/rw the
+  // other way produce a cycle.
+  c.add_committed(1, {{7, 0}}, {7});
+  c.add_committed(2, {{7, 0}}, {7});
+  c.set_key_order(7, {1, 2});
+  std::string why;
+  EXPECT_FALSE(c.check(&why));
+  EXPECT_NE(why.find("cycle"), std::string::npos) << why;
+}
+
+TEST(Checker, WriteSkewCycleDetected) {
+  SerializabilityChecker c;
+  // t1 reads x,y writes y; t2 reads x,y writes x — both from initial
+  // snapshots: serializable under SI, not under serializability.
+  c.add_committed(1, {{1, 0}, {2, 0}}, {2});
+  c.add_committed(2, {{1, 0}, {2, 0}}, {1});
+  c.set_key_order(1, {2});
+  c.set_key_order(2, {1});
+  std::string why;
+  EXPECT_FALSE(c.check(&why));
+}
+
+TEST(Checker, CommutingTransactionsAreSerializable) {
+  SerializabilityChecker c;
+  c.add_committed(1, {{1, 0}}, {1});
+  c.add_committed(2, {{2, 0}}, {2});
+  c.set_key_order(1, {1});
+  c.set_key_order(2, {2});
+  EXPECT_TRUE(c.check());
+}
+
+TEST(Checker, DirtyReadDetected) {
+  SerializabilityChecker c;
+  // t2 read a version written by a transaction that never committed.
+  c.add_committed(2, {{7, 99}}, {});
+  std::string why;
+  EXPECT_FALSE(c.check(&why));
+  EXPECT_NE(why.find("uncommitted"), std::string::npos) << why;
+}
+
+TEST(Checker, UncommittedInstalledVersionDetected) {
+  SerializabilityChecker c;
+  c.add_committed(1, {{7, 0}}, {7});
+  c.set_key_order(7, {1, 42});  // 42 never committed but left a version
+  std::string why;
+  EXPECT_FALSE(c.check(&why));
+  EXPECT_NE(why.find("42"), std::string::npos) << why;
+}
+
+TEST(Checker, AntidependencyOrderingRespected) {
+  SerializabilityChecker c;
+  // t1 reads initial k; t2 writes k. Serializable as t1 -> t2 (rw edge).
+  c.add_committed(1, {{7, 0}}, {});
+  c.add_committed(2, {{7, 0}}, {7});
+  c.set_key_order(7, {2});
+  EXPECT_TRUE(c.check());
+}
+
+TEST(Checker, LongerCycleAcrossThreeTransactions) {
+  SerializabilityChecker c;
+  // t1: reads a@0 writes b; t2: reads b@0 writes c; t3: reads c@0 writes a.
+  // rw edges t1->t3 (a), t2->t1 (b), t3->t2 (c): a 3-cycle.
+  c.add_committed(1, {{1, 0}}, {2});
+  c.add_committed(2, {{2, 0}}, {3});
+  c.add_committed(3, {{3, 0}}, {1});
+  c.set_key_order(1, {3});
+  c.set_key_order(2, {1});
+  c.set_key_order(3, {2});
+  std::string why;
+  EXPECT_FALSE(c.check(&why));
+}
+
+// --- Recorder ---------------------------------------------------------------------
+
+TEST(Recorder, RecordsOnlyInsideWindow) {
+  Recorder r;
+  r.set_window(sim::sec(1), sim::sec(2));
+  r.record("local", Outcome::kCommit, 1000, sim::msec(500));   // before
+  r.record("local", Outcome::kCommit, 1000, sim::msec(1500));  // inside
+  r.record("local", Outcome::kCommit, 1000, sim::msec(2500));  // after
+  EXPECT_EQ(r.of("local").committed, 1u);
+}
+
+TEST(Recorder, SeparatesOutcomes) {
+  Recorder r;
+  r.set_window(0, sim::sec(10));
+  r.record("x", Outcome::kCommit, 5000, sim::sec(1));
+  r.record("x", Outcome::kAbort, 5000, sim::sec(1));
+  r.record("x", Outcome::kUnknown, 5000, sim::sec(1));
+  EXPECT_EQ(r.of("x").committed, 1u);
+  EXPECT_EQ(r.of("x").aborted, 1u);
+  EXPECT_EQ(r.of("x").unknown, 1u);
+  EXPECT_EQ(r.of("x").latency.count(), 1u) << "only commits contribute latency samples";
+}
+
+TEST(Recorder, ThroughputPerClassAndTotal) {
+  Recorder r;
+  r.set_window(0, sim::sec(10));
+  for (int i = 0; i < 50; ++i) r.record("a", Outcome::kCommit, 100, sim::sec(5));
+  for (int i = 0; i < 30; ++i) r.record("b", Outcome::kCommit, 100, sim::sec(5));
+  EXPECT_DOUBLE_EQ(r.throughput("a"), 5.0);
+  EXPECT_DOUBLE_EQ(r.throughput("b"), 3.0);
+  EXPECT_DOUBLE_EQ(r.throughput(), 8.0);
+  EXPECT_EQ(r.total_committed(), 80u);
+}
+
+// --- Social codecs ------------------------------------------------------------------
+
+TEST(SocialCodec, IdListRoundTrip) {
+  const std::vector<std::uint64_t> ids = {1, 42, 1ULL << 40};
+  EXPECT_EQ(decode_id_list(encode_id_list(ids)), ids);
+  EXPECT_TRUE(decode_id_list(encode_id_list({})).empty());
+  EXPECT_TRUE(decode_id_list("").empty());
+}
+
+TEST(SocialCodec, PostListRoundTrip) {
+  const std::vector<std::string> posts = {"hello", "", std::string(500, 'x')};
+  EXPECT_EQ(decode_post_list(encode_post_list(posts)), posts);
+  EXPECT_TRUE(decode_post_list("").empty());
+}
+
+TEST(SocialCodec, KeyLayout) {
+  EXPECT_EQ(social_key(5, kConsumers), 20u);
+  EXPECT_EQ(social_key(5, kProducers), 21u);
+  EXPECT_EQ(social_key(5, kPosts), 22u);
+  UserPartitioning p(4);
+  for (std::uint64_t u = 0; u < 100; ++u) {
+    EXPECT_EQ(p.partition_of(social_key(u, kConsumers)), u % 4);
+    EXPECT_EQ(p.partition_of(social_key(u, kPosts)), u % 4)
+        << "all of a user's records share a partition";
+  }
+}
+
+// --- Microbenchmark value tagging -----------------------------------------------------
+
+TEST(MicroValues, WriterTagRoundTrip) {
+  const TxId id = 0x1234'5678'9ABC'DEF0ULL;
+  const std::string v = MicroWorkload::encode_value(id, 4);
+  EXPECT_GE(v.size(), sizeof(TxId)) << "value grows to hold the tag";
+  EXPECT_EQ(MicroWorkload::decode_writer(v), id);
+  EXPECT_EQ(MicroWorkload::decode_writer("xy"), 0u) << "short values decode as initial";
+}
+
+}  // namespace
+}  // namespace sdur::workload
