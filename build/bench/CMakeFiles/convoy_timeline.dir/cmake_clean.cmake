@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_timeline.dir/convoy_timeline.cpp.o"
+  "CMakeFiles/convoy_timeline.dir/convoy_timeline.cpp.o.d"
+  "convoy_timeline"
+  "convoy_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

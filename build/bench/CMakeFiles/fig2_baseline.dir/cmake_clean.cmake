@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_baseline.dir/fig2_baseline.cpp.o"
+  "CMakeFiles/fig2_baseline.dir/fig2_baseline.cpp.o.d"
+  "fig2_baseline"
+  "fig2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

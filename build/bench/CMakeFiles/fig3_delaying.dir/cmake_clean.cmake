@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_delaying.dir/fig3_delaying.cpp.o"
+  "CMakeFiles/fig3_delaying.dir/fig3_delaying.cpp.o.d"
+  "fig3_delaying"
+  "fig3_delaying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_delaying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_reorder_wan1.dir/fig4_reorder_wan1.cpp.o"
+  "CMakeFiles/fig4_reorder_wan1.dir/fig4_reorder_wan1.cpp.o.d"
+  "fig4_reorder_wan1"
+  "fig4_reorder_wan1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_reorder_wan1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reorder_wan2.dir/fig5_reorder_wan2.cpp.o"
+  "CMakeFiles/fig5_reorder_wan2.dir/fig5_reorder_wan2.cpp.o.d"
+  "fig5_reorder_wan2"
+  "fig5_reorder_wan2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reorder_wan2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

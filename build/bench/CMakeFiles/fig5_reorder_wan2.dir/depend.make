@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_reorder_wan2.
+# This may be replaced when dependencies are built.

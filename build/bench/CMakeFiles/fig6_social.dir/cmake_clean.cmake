@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_social.dir/fig6_social.cpp.o"
+  "CMakeFiles/fig6_social.dir/fig6_social.cpp.o.d"
+  "fig6_social"
+  "fig6_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_bench.dir/ycsb_bench.cpp.o"
+  "CMakeFiles/ycsb_bench.dir/ycsb_bench.cpp.o.d"
+  "ycsb_bench"
+  "ycsb_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

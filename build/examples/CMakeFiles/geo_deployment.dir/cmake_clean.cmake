@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_deployment.dir/geo_deployment.cpp.o"
+  "CMakeFiles/geo_deployment.dir/geo_deployment.cpp.o.d"
+  "geo_deployment"
+  "geo_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

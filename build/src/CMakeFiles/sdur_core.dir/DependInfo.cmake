@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdur/certifier.cpp" "src/CMakeFiles/sdur_core.dir/sdur/certifier.cpp.o" "gcc" "src/CMakeFiles/sdur_core.dir/sdur/certifier.cpp.o.d"
+  "/root/repo/src/sdur/client.cpp" "src/CMakeFiles/sdur_core.dir/sdur/client.cpp.o" "gcc" "src/CMakeFiles/sdur_core.dir/sdur/client.cpp.o.d"
+  "/root/repo/src/sdur/deployment.cpp" "src/CMakeFiles/sdur_core.dir/sdur/deployment.cpp.o" "gcc" "src/CMakeFiles/sdur_core.dir/sdur/deployment.cpp.o.d"
+  "/root/repo/src/sdur/messages.cpp" "src/CMakeFiles/sdur_core.dir/sdur/messages.cpp.o" "gcc" "src/CMakeFiles/sdur_core.dir/sdur/messages.cpp.o.d"
+  "/root/repo/src/sdur/server.cpp" "src/CMakeFiles/sdur_core.dir/sdur/server.cpp.o" "gcc" "src/CMakeFiles/sdur_core.dir/sdur/server.cpp.o.d"
+  "/root/repo/src/sdur/transaction.cpp" "src/CMakeFiles/sdur_core.dir/sdur/transaction.cpp.o" "gcc" "src/CMakeFiles/sdur_core.dir/sdur/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdur_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

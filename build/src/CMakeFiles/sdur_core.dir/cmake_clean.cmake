@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_core.dir/sdur/certifier.cpp.o"
+  "CMakeFiles/sdur_core.dir/sdur/certifier.cpp.o.d"
+  "CMakeFiles/sdur_core.dir/sdur/client.cpp.o"
+  "CMakeFiles/sdur_core.dir/sdur/client.cpp.o.d"
+  "CMakeFiles/sdur_core.dir/sdur/deployment.cpp.o"
+  "CMakeFiles/sdur_core.dir/sdur/deployment.cpp.o.d"
+  "CMakeFiles/sdur_core.dir/sdur/messages.cpp.o"
+  "CMakeFiles/sdur_core.dir/sdur/messages.cpp.o.d"
+  "CMakeFiles/sdur_core.dir/sdur/server.cpp.o"
+  "CMakeFiles/sdur_core.dir/sdur/server.cpp.o.d"
+  "CMakeFiles/sdur_core.dir/sdur/transaction.cpp.o"
+  "CMakeFiles/sdur_core.dir/sdur/transaction.cpp.o.d"
+  "libsdur_core.a"
+  "libsdur_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paxos/durable_log.cpp" "src/CMakeFiles/sdur_paxos.dir/paxos/durable_log.cpp.o" "gcc" "src/CMakeFiles/sdur_paxos.dir/paxos/durable_log.cpp.o.d"
+  "/root/repo/src/paxos/engine.cpp" "src/CMakeFiles/sdur_paxos.dir/paxos/engine.cpp.o" "gcc" "src/CMakeFiles/sdur_paxos.dir/paxos/engine.cpp.o.d"
+  "/root/repo/src/paxos/messages.cpp" "src/CMakeFiles/sdur_paxos.dir/paxos/messages.cpp.o" "gcc" "src/CMakeFiles/sdur_paxos.dir/paxos/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_paxos.dir/paxos/durable_log.cpp.o"
+  "CMakeFiles/sdur_paxos.dir/paxos/durable_log.cpp.o.d"
+  "CMakeFiles/sdur_paxos.dir/paxos/engine.cpp.o"
+  "CMakeFiles/sdur_paxos.dir/paxos/engine.cpp.o.d"
+  "CMakeFiles/sdur_paxos.dir/paxos/messages.cpp.o"
+  "CMakeFiles/sdur_paxos.dir/paxos/messages.cpp.o.d"
+  "libsdur_paxos.a"
+  "libsdur_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

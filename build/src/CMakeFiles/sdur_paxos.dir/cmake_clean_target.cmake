@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdur_paxos.a"
+)

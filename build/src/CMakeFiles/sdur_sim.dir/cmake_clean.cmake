@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/sdur_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/sdur_sim.dir/sim/process.cpp.o"
+  "CMakeFiles/sdur_sim.dir/sim/process.cpp.o.d"
+  "CMakeFiles/sdur_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/sdur_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/sdur_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/sdur_sim.dir/sim/topology.cpp.o.d"
+  "libsdur_sim.a"
+  "libsdur_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

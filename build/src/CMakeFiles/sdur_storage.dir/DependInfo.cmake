@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/commit_window.cpp" "src/CMakeFiles/sdur_storage.dir/storage/commit_window.cpp.o" "gcc" "src/CMakeFiles/sdur_storage.dir/storage/commit_window.cpp.o.d"
+  "/root/repo/src/storage/mvstore.cpp" "src/CMakeFiles/sdur_storage.dir/storage/mvstore.cpp.o" "gcc" "src/CMakeFiles/sdur_storage.dir/storage/mvstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

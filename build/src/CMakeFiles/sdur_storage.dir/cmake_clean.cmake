@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_storage.dir/storage/commit_window.cpp.o"
+  "CMakeFiles/sdur_storage.dir/storage/commit_window.cpp.o.d"
+  "CMakeFiles/sdur_storage.dir/storage/mvstore.cpp.o"
+  "CMakeFiles/sdur_storage.dir/storage/mvstore.cpp.o.d"
+  "libsdur_storage.a"
+  "libsdur_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_util.dir/util/bloom.cpp.o"
+  "CMakeFiles/sdur_util.dir/util/bloom.cpp.o.d"
+  "CMakeFiles/sdur_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/sdur_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/sdur_util.dir/util/logging.cpp.o"
+  "CMakeFiles/sdur_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/sdur_util.dir/util/stats.cpp.o"
+  "CMakeFiles/sdur_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/sdur_util.dir/util/zipf.cpp.o"
+  "CMakeFiles/sdur_util.dir/util/zipf.cpp.o.d"
+  "libsdur_util.a"
+  "libsdur_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

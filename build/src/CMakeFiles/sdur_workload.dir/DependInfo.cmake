@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/driver.cpp" "src/CMakeFiles/sdur_workload.dir/workload/driver.cpp.o" "gcc" "src/CMakeFiles/sdur_workload.dir/workload/driver.cpp.o.d"
+  "/root/repo/src/workload/history.cpp" "src/CMakeFiles/sdur_workload.dir/workload/history.cpp.o" "gcc" "src/CMakeFiles/sdur_workload.dir/workload/history.cpp.o.d"
+  "/root/repo/src/workload/microbench.cpp" "src/CMakeFiles/sdur_workload.dir/workload/microbench.cpp.o" "gcc" "src/CMakeFiles/sdur_workload.dir/workload/microbench.cpp.o.d"
+  "/root/repo/src/workload/social.cpp" "src/CMakeFiles/sdur_workload.dir/workload/social.cpp.o" "gcc" "src/CMakeFiles/sdur_workload.dir/workload/social.cpp.o.d"
+  "/root/repo/src/workload/ycsb.cpp" "src/CMakeFiles/sdur_workload.dir/workload/ycsb.cpp.o" "gcc" "src/CMakeFiles/sdur_workload.dir/workload/ycsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_workload.dir/workload/driver.cpp.o"
+  "CMakeFiles/sdur_workload.dir/workload/driver.cpp.o.d"
+  "CMakeFiles/sdur_workload.dir/workload/history.cpp.o"
+  "CMakeFiles/sdur_workload.dir/workload/history.cpp.o.d"
+  "CMakeFiles/sdur_workload.dir/workload/microbench.cpp.o"
+  "CMakeFiles/sdur_workload.dir/workload/microbench.cpp.o.d"
+  "CMakeFiles/sdur_workload.dir/workload/social.cpp.o"
+  "CMakeFiles/sdur_workload.dir/workload/social.cpp.o.d"
+  "CMakeFiles/sdur_workload.dir/workload/ycsb.cpp.o"
+  "CMakeFiles/sdur_workload.dir/workload/ycsb.cpp.o.d"
+  "libsdur_workload.a"
+  "libsdur_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

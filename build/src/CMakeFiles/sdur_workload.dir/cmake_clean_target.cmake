@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdur_workload.a"
+)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/certifier_test.cpp" "tests/CMakeFiles/sdur_tests.dir/certifier_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/certifier_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/sdur_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/client_test.cpp" "tests/CMakeFiles/sdur_tests.dir/client_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/client_test.cpp.o.d"
+  "/root/repo/tests/deployment_test.cpp" "tests/CMakeFiles/sdur_tests.dir/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/gossip_test.cpp" "tests/CMakeFiles/sdur_tests.dir/gossip_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/gossip_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/sdur_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/paxos_robustness_test.cpp" "tests/CMakeFiles/sdur_tests.dir/paxos_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/paxos_robustness_test.cpp.o.d"
+  "/root/repo/tests/paxos_test.cpp" "tests/CMakeFiles/sdur_tests.dir/paxos_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/paxos_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/sdur_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/server_test.cpp" "tests/CMakeFiles/sdur_tests.dir/server_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/server_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sdur_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/sdur_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/torture_test.cpp" "tests/CMakeFiles/sdur_tests.dir/torture_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/torture_test.cpp.o.d"
+  "/root/repo/tests/transaction_test.cpp" "tests/CMakeFiles/sdur_tests.dir/transaction_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/transaction_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/sdur_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/sdur_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/workload_test.cpp.o.d"
+  "/root/repo/tests/ycsb_test.cpp" "tests/CMakeFiles/sdur_tests.dir/ycsb_test.cpp.o" "gcc" "tests/CMakeFiles/sdur_tests.dir/ycsb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdur_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdur_sim_cli.dir/sdur_sim.cpp.o"
+  "CMakeFiles/sdur_sim_cli.dir/sdur_sim.cpp.o.d"
+  "sdur_sim"
+  "sdur_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdur_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
