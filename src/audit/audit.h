@@ -1,0 +1,87 @@
+// Protocol invariant audit layer — the compile-time-gated hooks.
+//
+// SDUR's correctness rests on properties the protocol never checks at
+// runtime: certification is a deterministic function of the delivered
+// sequence, atomic broadcast never chooses two values for one instance,
+// reads only observe fully-resolved snapshots, and a global transaction
+// commits iff every touched partition voted commit. This header provides
+// the hooks that check those properties *while the system runs*, so a
+// violation is reported at the moment it happens with the offending
+// transaction / instance and the recent event context — not three PRs
+// later when a torture test flakes.
+//
+// Usage:
+//
+//   SDUR_AUDIT_CHECK(component, invariant, condition, detail-stream);
+//       Reports a structured Violation if `condition` is false. `detail`
+//       is an ostream expression ("tx=" << id << ...), evaluated only on
+//       failure.
+//
+//   SDUR_AUDIT(stmt);
+//       Executes `stmt` only in audit builds. Use it for oracle
+//       recording calls and any computation needed solely by a check.
+//
+//   SDUR_AUDIT_NOTE(time_us, detail-stream);
+//       Appends a line to the recent-event ring buffer that is attached
+//       to every violation report.
+//
+// All three compile to nothing when the CMake option SDUR_AUDIT is OFF
+// (no argument evaluation, no code, no dependencies), so hooks may sit on
+// the hottest protocol paths. The cross-replica invariant tables live in
+// audit/oracle.h; per-process checks go through SDUR_AUDIT_CHECK directly.
+//
+// Adding a new invariant (see DESIGN.md "Invariant audit engine"):
+//   1. Pick the load-bearing point and the cheapest expressible condition.
+//   2. Per-process property -> SDUR_AUDIT_CHECK in place. Cross-replica
+//      property -> add a record_*() table to audit::Oracle keyed by the
+//      protocol coordinate that must agree (instance, delivery index, ...).
+//   3. Cover it with a deliberately-injected bug in tests/audit_test.cpp.
+#pragma once
+
+#if defined(SDUR_AUDIT_ENABLED) && SDUR_AUDIT_ENABLED
+#define SDUR_AUDIT_ON 1
+#else
+#define SDUR_AUDIT_ON 0
+#endif
+
+#if SDUR_AUDIT_ON
+
+#include <sstream>
+#include <utility>
+
+#include "audit/auditor.h"
+#include "audit/oracle.h"
+
+// Expands to its argument verbatim (so audit-only declarations stay in
+// scope for later checks in the same block); vanishes when audit is off.
+#define SDUR_AUDIT(...) __VA_ARGS__
+
+#define SDUR_AUDIT_CHECK(component_, invariant_, cond_, detail_)             \
+  do {                                                                       \
+    if (!(cond_)) {                                                          \
+      std::ostringstream sdur_audit_oss_;                                    \
+      sdur_audit_oss_ << detail_;                                            \
+      ::sdur::audit::Violation sdur_audit_v_;                                \
+      sdur_audit_v_.component = (component_);                                \
+      sdur_audit_v_.invariant = (invariant_);                                \
+      sdur_audit_v_.detail = sdur_audit_oss_.str();                          \
+      sdur_audit_v_.file = __FILE__;                                         \
+      sdur_audit_v_.line = __LINE__;                                         \
+      ::sdur::audit::Auditor::instance().report(std::move(sdur_audit_v_));   \
+    }                                                                        \
+  } while (0)
+
+#define SDUR_AUDIT_NOTE(time_us_, detail_)                                   \
+  do {                                                                       \
+    std::ostringstream sdur_audit_oss_;                                      \
+    sdur_audit_oss_ << detail_;                                              \
+    ::sdur::audit::Auditor::instance().note((time_us_), sdur_audit_oss_.str()); \
+  } while (0)
+
+#else  // !SDUR_AUDIT_ON
+
+#define SDUR_AUDIT(...) ((void)0)
+#define SDUR_AUDIT_CHECK(component_, invariant_, cond_, detail_) ((void)0)
+#define SDUR_AUDIT_NOTE(time_us_, detail_) ((void)0)
+
+#endif  // SDUR_AUDIT_ON

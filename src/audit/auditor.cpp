@@ -1,0 +1,52 @@
+#include "audit/auditor.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace sdur::audit {
+
+Auditor& Auditor::instance() {
+  static Auditor auditor;
+  return auditor;
+}
+
+void Auditor::reset() {
+  violations_.clear();
+  total_ = 0;
+  context_.clear();
+}
+
+void Auditor::note(std::int64_t time_us, std::string line) {
+  std::ostringstream oss;
+  oss << "[t=" << time_us << "us] " << line;
+  context_.push_back(std::move(oss).str());
+  while (context_.size() > context_capacity_) context_.pop_front();
+}
+
+void Auditor::report(Violation v) {
+  ++total_;
+  SDUR_ERROR("audit") << "INVARIANT VIOLATION [" << v.component << "/" << v.invariant << "] "
+                      << v.detail << " (" << v.file << ":" << v.line << ")";
+  if (violations_.size() >= kMaxStoredViolations) return;
+  v.context.assign(context_.begin(), context_.end());
+  violations_.push_back(std::move(v));
+}
+
+std::string Auditor::summary() const {
+  std::ostringstream oss;
+  oss << total_ << " invariant violation(s)";
+  if (total_ > violations_.size()) oss << " (" << violations_.size() << " stored)";
+  oss << "\n";
+  for (const Violation& v : violations_) {
+    oss << "  [" << v.component << "/" << v.invariant << "] " << v.detail << "\n    at " << v.file
+        << ":" << v.line << "\n";
+    if (!v.context.empty()) {
+      oss << "    recent events:\n";
+      for (const std::string& line : v.context) oss << "      " << line << "\n";
+    }
+  }
+  return std::move(oss).str();
+}
+
+}  // namespace sdur::audit

@@ -1,0 +1,70 @@
+// Violation collector for the invariant audit layer (see audit/audit.h).
+//
+// The Auditor is a process-wide registry: hooks report structured
+// Violations into it, protocol layers feed it recent-event notes (one
+// bounded ring buffer, attached to every report so a violation carries the
+// context that led up to it), and tests inspect / assert on the result.
+//
+// The simulator is single-threaded, so no locking. State is reset at the
+// start of every simulated run (sim::Network construction) so runs in the
+// same test binary do not contaminate each other; tests may also reset
+// explicitly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sdur::audit {
+
+/// One invariant violation. `txid` / `instance` identify the offending
+/// protocol object when the reporting hook knows it (0 otherwise; the
+/// detail string always carries the full coordinates).
+struct Violation {
+  std::string component;   // "paxos", "certifier", "server", "storage"
+  std::string invariant;   // e.g. "unique-chosen", "certification-determinism"
+  std::string detail;      // human-readable coordinates and disagreement
+  std::string file;
+  int line = 0;
+  std::uint64_t txid = 0;
+  std::uint64_t instance = 0;
+  std::int64_t time_us = -1;                 // virtual time, -1 = unknown
+  std::vector<std::string> context;          // recent event notes at report time
+};
+
+class Auditor {
+ public:
+  static Auditor& instance();
+
+  /// Clears violations and the event ring (new simulated run).
+  void reset();
+
+  /// Appends a recent-event note (bounded ring buffer).
+  void note(std::int64_t time_us, std::string line);
+
+  /// Records a violation: stamps the current event context, stores it
+  /// (bounded) and logs it at ERROR level.
+  void report(Violation v);
+
+  bool clean() const { return total_ == 0; }
+  /// Stored violations (at most kMaxStoredViolations; total_violations()
+  /// counts every report).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t total_violations() const { return total_; }
+
+  /// Formatted multi-line report of all stored violations with context.
+  std::string summary() const;
+
+  void set_context_capacity(std::size_t n) { context_capacity_ = n == 0 ? 1 : n; }
+
+ private:
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+  std::vector<Violation> violations_;
+  std::uint64_t total_ = 0;
+  std::deque<std::string> context_;
+  std::size_t context_capacity_ = 64;
+};
+
+}  // namespace sdur::audit

@@ -1,0 +1,167 @@
+#include "audit/oracle.h"
+
+#include <sstream>
+
+#include "audit/auditor.h"
+
+namespace sdur::audit {
+
+namespace {
+
+const char* outcome_name(std::uint8_t o) {
+  switch (o) {
+    case Oracle::kCommit:
+      return "commit";
+    case Oracle::kAbort:
+      return "abort";
+    default:
+      return "unknown";
+  }
+}
+
+void report(const char* component, const char* invariant, std::uint64_t txid,
+            std::uint64_t instance, std::int64_t time_us, const std::string& detail,
+            const char* file, int line) {
+  Violation v;
+  v.component = component;
+  v.invariant = invariant;
+  v.txid = txid;
+  v.instance = instance;
+  v.time_us = time_us;
+  v.detail = detail;
+  v.file = file;
+  v.line = line;
+  Auditor::instance().report(std::move(v));
+}
+
+}  // namespace
+
+Oracle& Oracle::instance() {
+  static Oracle oracle;
+  return oracle;
+}
+
+void Oracle::reset() {
+  chosen_.clear();
+  chosen_order_.clear();
+  certified_.clear();
+  certified_order_.clear();
+  votes_.clear();
+  votes_order_.clear();
+  outcomes_.clear();
+  outcomes_order_.clear();
+}
+
+template <typename MapT>
+void Oracle::bound(MapT& map, std::deque<typename MapT::key_type>& order) {
+  while (order.size() > kMaxEntriesPerTable) {
+    map.erase(order.front());
+    order.pop_front();
+  }
+}
+
+void Oracle::record_chosen(std::uint64_t group, std::uint64_t instance, std::uint64_t value_hash,
+                           std::uint64_t replica, std::int64_t time_us) {
+  const auto key = std::make_pair(group, instance);
+  auto [it, inserted] = chosen_.try_emplace(key, value_hash, replica);
+  if (inserted) {
+    chosen_order_.push_back(key);
+    bound(chosen_, chosen_order_);
+    return;
+  }
+  if (it->second.first == value_hash) return;
+  std::ostringstream oss;
+  oss << "two values chosen for instance " << instance << " of group " << std::hex << group
+      << std::dec << ": replica " << it->second.second << " decided value#" << std::hex
+      << it->second.first << ", replica " << std::dec << replica << " decided value#" << std::hex
+      << value_hash;
+  report("paxos", "unique-chosen", 0, instance, time_us, std::move(oss).str(), __FILE__, __LINE__);
+}
+
+void Oracle::record_certified(std::uint32_t partition, std::uint64_t dc, std::uint64_t txid,
+                              std::uint8_t outcome, std::int64_t version, std::uint64_t replica,
+                              std::int64_t time_us) {
+  const auto key = std::make_pair(partition, dc);
+  auto [it, inserted] = certified_.try_emplace(key, CertRecord{txid, outcome, version, replica});
+  if (inserted) {
+    certified_order_.push_back(key);
+    bound(certified_, certified_order_);
+    return;
+  }
+  const CertRecord& prev = it->second;
+  if (prev.txid == txid && prev.outcome == outcome && prev.version == version) return;
+  std::ostringstream oss;
+  oss << "replicas diverge at partition " << partition << " dc=" << dc << ": replica "
+      << prev.replica << " certified tx " << prev.txid << " -> " << outcome_name(prev.outcome)
+      << " v" << prev.version << ", replica " << replica << " certified tx " << txid << " -> "
+      << outcome_name(outcome) << " v" << version;
+  report("certifier", "certification-determinism", txid, dc, time_us, std::move(oss).str(),
+         __FILE__, __LINE__);
+}
+
+void Oracle::record_vote(std::uint64_t txid, std::uint32_t partition, std::uint8_t vote,
+                         std::uint64_t replica, std::int64_t time_us) {
+  const auto key = std::make_pair(txid, partition);
+  auto [it, inserted] = votes_.try_emplace(key, VoteRecord{vote, replica});
+  if (inserted) {
+    votes_order_.push_back(key);
+    bound(votes_, votes_order_);
+    return;
+  }
+  if (it->second.vote == vote) return;
+  std::ostringstream oss;
+  oss << "partition " << partition << " cast two different votes for tx " << txid << ": replica "
+      << it->second.replica << " voted " << outcome_name(it->second.vote) << ", replica "
+      << replica << " voted " << outcome_name(vote);
+  report("server", "vote-determinism", txid, 0, time_us, std::move(oss).str(), __FILE__, __LINE__);
+}
+
+void Oracle::record_completion(std::uint64_t txid, std::uint32_t partition, std::uint8_t outcome,
+                               const std::vector<std::uint32_t>& involved, std::uint64_t replica,
+                               std::int64_t time_us) {
+  auto [it, inserted] = outcomes_.try_emplace(txid, OutcomeRecord{outcome, partition, replica});
+  if (inserted) {
+    outcomes_order_.push_back(txid);
+    bound(outcomes_, outcomes_order_);
+  } else if (it->second.outcome != outcome) {
+    std::ostringstream oss;
+    oss << "tx " << txid << " completed with different outcomes: partition "
+        << it->second.partition << " replica " << it->second.replica << " -> "
+        << outcome_name(it->second.outcome) << ", partition " << partition << " replica "
+        << replica << " -> " << outcome_name(outcome);
+    report("server", "atomic-commitment", txid, 0, time_us, std::move(oss).str(), __FILE__,
+           __LINE__);
+    return;
+  }
+
+  if (involved.size() < 2) return;  // locals have no vote exchange
+
+  // 2PC safety: commit iff every involved partition's recorded vote is
+  // commit. Votes are recorded at certification time, which precedes every
+  // completion (a replica completes only once it holds all votes), so a
+  // missing vote on a commit is itself a violation.
+  std::size_t commit_votes = 0;
+  bool any_abort = false;
+  for (std::uint32_t p : involved) {
+    auto vit = votes_.find(std::make_pair(txid, p));
+    if (vit == votes_.end()) continue;
+    if (vit->second.vote == kCommit) ++commit_votes;
+    if (vit->second.vote == kAbort) any_abort = true;
+  }
+  if (outcome == kCommit && commit_votes != involved.size()) {
+    std::ostringstream oss;
+    oss << "tx " << txid << " committed on partition " << partition << " replica " << replica
+        << " with only " << commit_votes << "/" << involved.size()
+        << " partitions recorded as voting commit";
+    report("server", "commit-requires-all-votes", txid, 0, time_us, std::move(oss).str(),
+           __FILE__, __LINE__);
+  } else if (outcome == kAbort && commit_votes == involved.size() && !any_abort) {
+    std::ostringstream oss;
+    oss << "tx " << txid << " aborted on partition " << partition << " replica " << replica
+        << " although every involved partition voted commit";
+    report("server", "abort-requires-an-abort-vote", txid, 0, time_us, std::move(oss).str(),
+           __FILE__, __LINE__);
+  }
+}
+
+}  // namespace sdur::audit

@@ -1,0 +1,109 @@
+// Cross-replica invariant oracle.
+//
+// Replicas of a partition must behave as deterministic copies of one state
+// machine: atomic broadcast chooses one value per instance, certification
+// of the same delivery index produces the same verdict everywhere, each
+// partition casts exactly one vote per global transaction, and the
+// transaction's final outcome is the same on every partition it touched
+// (and is commit iff every touched partition voted commit).
+//
+// None of these properties is observable from inside a single replica, so
+// protocol hooks record their local decisions here, keyed by the protocol
+// coordinate that must agree — (group, instance) for Paxos decisions,
+// (partition, delivery index) for certification verdicts, (txid,
+// partition) for votes, txid for outcomes. The first record establishes
+// the expected value; any later disagreeing record is an invariant
+// violation, reported through audit::Auditor with both sides' coordinates.
+//
+// The oracle deliberately speaks only in integers (ids, hashes, enum
+// bytes) so it sits below every protocol layer. Tables are bounded: old
+// entries are pruned FIFO once a table exceeds its cap, which in practice
+// only matters for very long benchmark runs (a pruned entry means a
+// missed comparison, never a false positive).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace sdur::audit {
+
+class Oracle {
+ public:
+  static Oracle& instance();
+
+  /// Clears every table (new simulated run).
+  void reset();
+
+  /// Paxos learner decided `value_hash` for `instance` of group `group`.
+  /// Invariant "unique-chosen": no two different values for one instance.
+  void record_chosen(std::uint64_t group, std::uint64_t instance, std::uint64_t value_hash,
+                     std::uint64_t replica, std::int64_t time_us);
+
+  /// Certifier on `replica` of `partition` processed the transaction
+  /// delivered at delivery-counter `dc` with the given verdict.
+  /// Invariant "certification-determinism": every replica of the partition
+  /// certifies the same (txid, outcome, version) at the same dc.
+  void record_certified(std::uint32_t partition, std::uint64_t dc, std::uint64_t txid,
+                        std::uint8_t outcome, std::int64_t version, std::uint64_t replica,
+                        std::int64_t time_us);
+
+  /// `partition` cast `vote` for global transaction `txid` (recorded by
+  /// `replica`). Invariant "vote-determinism": one vote per (txid,
+  /// partition), identical across the partition's replicas.
+  void record_vote(std::uint64_t txid, std::uint32_t partition, std::uint8_t vote,
+                   std::uint64_t replica, std::int64_t time_us);
+
+  /// `replica` of `partition` completed `txid` with `outcome`. Invariants:
+  /// "atomic-commitment" — every replica of every involved partition
+  /// completes the transaction with the same outcome; and, for globals,
+  /// "commit-requires-all-votes" / "abort-requires-an-abort-vote" — the
+  /// outcome is commit iff every involved partition's recorded vote is
+  /// commit (2PC safety). `commit` / `abort` are the Outcome enum bytes.
+  void record_completion(std::uint64_t txid, std::uint32_t partition, std::uint8_t outcome,
+                         const std::vector<std::uint32_t>& involved, std::uint64_t replica,
+                         std::int64_t time_us);
+
+  /// Outcome enum bytes (mirrors sdur::Outcome without depending on it).
+  static constexpr std::uint8_t kCommit = 1;
+  static constexpr std::uint8_t kAbort = 2;
+
+ private:
+  struct CertRecord {
+    std::uint64_t txid = 0;
+    std::uint8_t outcome = 0;
+    std::int64_t version = 0;
+    std::uint64_t replica = 0;
+  };
+  struct OutcomeRecord {
+    std::uint8_t outcome = 0;
+    std::uint32_t partition = 0;
+    std::uint64_t replica = 0;
+  };
+  struct VoteRecord {
+    std::uint8_t vote = 0;
+    std::uint64_t replica = 0;
+  };
+
+  // FIFO-bounded map helper: erase oldest-inserted keys beyond the cap.
+  template <typename MapT>
+  void bound(MapT& map, std::deque<typename MapT::key_type>& order);
+
+  static constexpr std::size_t kMaxEntriesPerTable = 1u << 21;
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::pair<std::uint64_t, std::uint64_t>>
+      chosen_;  // (group, instance) -> (value_hash, replica)
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> chosen_order_;
+
+  std::map<std::pair<std::uint32_t, std::uint64_t>, CertRecord> certified_;
+  std::deque<std::pair<std::uint32_t, std::uint64_t>> certified_order_;
+
+  std::map<std::pair<std::uint64_t, std::uint32_t>, VoteRecord> votes_;
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> votes_order_;
+
+  std::map<std::uint64_t, OutcomeRecord> outcomes_;
+  std::deque<std::uint64_t> outcomes_order_;
+};
+
+}  // namespace sdur::audit

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "audit/audit.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -24,6 +25,13 @@ PaxosEngine::PaxosEngine(sim::Endpoint& endpoint, GroupConfig config,
   for (std::uint32_t i = 0; i < cfg_.members.size(); ++i) index_of_[cfg_.members[i]] = i;
   promised_ = log_->load_promise();
   highest_seen_ = promised_;
+  // Group identity for the cross-replica audit oracle: every member hashes
+  // the same member list, and distinct groups have distinct member sets.
+  SDUR_AUDIT({
+    std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (ProcessId pid : cfg_.members) h = (h ^ pid) * 1099511628211ULL;
+    audit_group_ = h;
+  });
 }
 
 void PaxosEngine::start() {
@@ -303,11 +311,19 @@ void PaxosEngine::open_instance(InstanceId inst, Value value) {
 
 void PaxosEngine::on_phase2a(const Phase2A& m, ProcessId from) {
   highest_seen_ = std::max(highest_seen_, m.ballot);
-  if (m.ballot < promised_) {
+  if (m.ballot < promised_ && !test_accept_stale_ballots_) {
     ep_.send_message(from, Nack{promised_}.to_message());
     ++stats_.nacks;
     return;
   }
+  // Acceptor safety: accepting below the promise would let a deposed
+  // leader's value win against the quorum a newer leader read, so two
+  // values could be chosen for one instance. Reachable only through the
+  // test_accept_stale_ballots fault injection — or a real protocol bug.
+  SDUR_AUDIT_CHECK("paxos", "accept-ballot-monotonic", m.ballot >= promised_,
+                   "acceptor " << ep_.self() << " accepts instance " << m.instance
+                               << " at stale ballot " << m.ballot.n << " < promised "
+                               << promised_.n);
   if (m.ballot > promised_) {
     promised_ = m.ballot;
     log_->save_promise(promised_);
@@ -359,6 +375,22 @@ void PaxosEngine::on_phase2b(const Phase2B& m, ProcessId from) {
 
 void PaxosEngine::decide(InstanceId inst, Value value) {
   if (inst < next_deliver_ || undelivered_.contains(inst)) return;
+  // A decided instance is immutable: re-deciding it locally with different
+  // bytes means the log prefix was rewritten.
+  SDUR_AUDIT({
+    if (const auto prev = log_->load_decided(inst)) {
+      SDUR_AUDIT_CHECK("paxos", "decided-immutable", value_hash(*prev) == value_hash(value),
+                       "replica " << ep_.self() << " re-decides instance " << inst
+                                  << " with different value");
+    }
+  });
+  // Cross-replica agreement: every group member must decide the same value
+  // for this instance.
+  SDUR_AUDIT(audit::Oracle::instance().record_chosen(audit_group_, inst, value_hash(value),
+                                                     ep_.self(), ep_.current_time()));
+  SDUR_AUDIT_NOTE(ep_.current_time(), "paxos replica " << ep_.self() << " decided instance "
+                                                       << inst << " (" << value.size()
+                                                       << " bytes)");
   log_->save_decided(inst, value);
   undelivered_[inst] = std::move(value);
   acks_.erase(inst);
@@ -393,6 +425,13 @@ void PaxosEngine::save_checkpoint(Value app_state) {
 
 void PaxosEngine::on_state_transfer(const StateTransfer& m) {
   if (m.resume_at <= next_deliver_ || !install_) return;
+  // The delivered prefix only ever grows; a state transfer may jump it
+  // forward, never backward (guarded above — this documents the invariant
+  // for audit builds and catches regressions of the guard).
+  SDUR_AUDIT_CHECK("paxos", "delivery-prefix-monotonic", m.resume_at > next_deliver_,
+                   "state transfer would rewind replica " << ep_.self() << " from instance "
+                                                          << next_deliver_ << " to "
+                                                          << m.resume_at);
   ++stats_.state_transfers_installed;
   install_(m.app_state);
   // The checkpoint subsumes our log prefix: persist it and resume from the

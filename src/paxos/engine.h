@@ -78,6 +78,12 @@ class PaxosEngine {
   /// truncated instances receive the checkpoint instead.
   void save_checkpoint(Value app_state);
 
+  /// TEST-ONLY fault injection: when set, the acceptor skips the
+  /// promised-ballot guard in Phase 2A and accepts values at stale
+  /// ballots — a protocol safety bug the audit layer must catch
+  /// (tests/audit_test.cpp). Never set outside tests.
+  void test_accept_stale_ballots(bool v) { test_accept_stale_ballots_ = v; }
+
   bool is_leader() const { return role_ == Role::kLeader; }
   /// Process id of the believed leader (self if leading).
   ProcessId leader_hint() const;
@@ -140,8 +146,9 @@ class PaxosEngine {
   ProcessId leader_hint_ = 0;
   Time last_leader_contact_ = 0;
 
-  // Candidate state.
-  std::unordered_map<std::uint32_t, Phase1B> promises_;
+  // Candidate state. Ordered so that become_leader()'s scan (and its
+  // catchup-target tie-break) is independent of hashing/allocation.
+  std::map<std::uint32_t, Phase1B> promises_;
 
   // Learner state: per-instance ack tracking (ballot, member bitmask).
   struct AckState {
@@ -171,12 +178,17 @@ class PaxosEngine {
     Time submitted_at = 0;
     std::uint32_t count = 0;  // identical values in flight (e.g. ticks)
   };
-  std::unordered_map<std::uint64_t, SubmittedValue> submitted_;
+  /// Ordered: tick() re-proposes in iteration order, which must not depend
+  /// on hashing/allocation.
+  std::map<std::uint64_t, SubmittedValue> submitted_;
   std::uint32_t behind_heartbeats_ = 0;
 
   std::unordered_map<ProcessId, std::uint32_t> index_of_;
   Stats stats_;
   bool started_ = false;
+  bool test_accept_stale_ballots_ = false;
+  /// Stable group identity for the audit oracle (hash of the member ids).
+  std::uint64_t audit_group_ = 0;
 };
 
 }  // namespace sdur::paxos

@@ -1,5 +1,7 @@
 #include "sdur/certifier.h"
 
+#include "audit/audit.h"
+
 namespace sdur {
 
 const Certifier::Slot* Certifier::slot(Version v) const {
@@ -40,7 +42,7 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
     result.stale_snapshot = true;
     return result;  // abort: snapshot predates the certification window
   }
-  if (has_conflict(t, st)) return result;  // abort
+  if (!test_skip_conflict_check_ && has_conflict(t, st)) return result;  // abort
 
   std::size_t position;
   if (t.is_global()) {
@@ -71,6 +73,12 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
   slots_.push_back(Slot{t.id, t.is_global(), SlotStatus::kPending, t.readset, t.write_keys});
   pl_.insert(pl_.begin() + static_cast<std::ptrdiff_t>(position),
              PendingEntry{t, rt, result.version, 0, 0, false});
+  // The window holds exactly one slot per assigned version in [base, cc]:
+  // a gap would let a conflicting transaction escape certification.
+  SDUR_AUDIT_CHECK("certifier", "window-contiguous",
+                   base_ + static_cast<Version>(slots_.size()) - 1 == cc_,
+                   "window [" << base_ << ", " << cc_ << "] holds " << slots_.size()
+                              << " slots after certifying tx " << t.id);
   return result;
 }
 
@@ -83,14 +91,30 @@ PendingEntry Certifier::pop_head() {
 void Certifier::resolve(const PendingEntry& entry, bool committed) {
   const Version v = entry.version;
   if (v < base_ || v > cc_) return;
+  // A slot is resolved exactly once, by the transaction that owns it.
+  SDUR_AUDIT_CHECK("certifier", "resolve-once",
+                   slots_[static_cast<std::size_t>(v - base_)].status == SlotStatus::kPending,
+                   "version " << v << " (tx " << entry.tx.id << ") resolved twice");
+  SDUR_AUDIT_CHECK("certifier", "resolve-owner",
+                   slots_[static_cast<std::size_t>(v - base_)].txid == entry.tx.id,
+                   "version " << v << " owned by tx "
+                              << slots_[static_cast<std::size_t>(v - base_)].txid
+                              << " resolved by tx " << entry.tx.id);
   slots_[static_cast<std::size_t>(v - base_)].status =
       committed ? SlotStatus::kCommitted : SlotStatus::kAborted;
   // Advance the stable prefix over contiguously resolved slots.
+  SDUR_AUDIT(const Version stable_before = stable_);
   while (stable_ < cc_) {
     const Slot* s = slot(stable_ + 1);
     if (s == nullptr || s->status == SlotStatus::kPending) break;
     ++stable_;
   }
+  // Reads are served at the stable version: it must never move backwards
+  // (a client could observe a snapshot that then grows a hole).
+  SDUR_AUDIT_CHECK("certifier", "stable-monotonic",
+                   stable_ >= stable_before && stable_ <= cc_,
+                   "stable prefix moved from " << stable_before << " to " << stable_
+                                               << " (cc=" << cc_ << ")");
   // Evict old resolved slots beyond the window capacity.
   while (slots_.size() > window_capacity_ && base_ <= stable_) {
     slots_.pop_front();

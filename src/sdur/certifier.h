@@ -119,6 +119,12 @@ class Certifier {
   /// Slot accessor for tests (version must be in (base-1, cc]).
   const Slot* slot(Version v) const;
 
+  /// TEST-ONLY fault injection: when set, certification skips the conflict
+  /// check and commits every coverable transaction — a determinism bug
+  /// (when enabled on a single replica) the audit layer must catch
+  /// (tests/audit_test.cpp). Never set outside tests.
+  void test_skip_conflict_check(bool v) { test_skip_conflict_check_ = v; }
+
   /// Serializes the full certifier state (window slots + pending list)
   /// into a checkpoint; install() replaces the state from one. Pending
   /// entries lose their server-side liveness fields (votes are re-fetched
@@ -132,6 +138,7 @@ class Certifier {
   bool has_conflict(const PartTx& t, Version st) const;
 
   std::size_t window_capacity_;
+  bool test_skip_conflict_check_ = false;
   std::deque<Slot> slots_;  // slot for version v at index v - base_
   Version base_ = 1;        // version of slots_.front()
   Version cc_ = 0;          // last assigned version

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/audit.h"
 #include "util/logging.h"
 
 namespace sdur {
@@ -257,6 +258,7 @@ void Server::process_delivery(PartTx t) {
       seen_.insert(t.id);
       const std::uint64_t rt = dc_ + cfg_.reorder_threshold;
       Outcome vote = Outcome::kAbort;
+      SDUR_AUDIT(Version audit_version = 0);
       if (!poisoned_.contains(t.id)) {
         const Certifier::Result res = cert_.process(t, rt, dc_);
         vote = res.outcome;
@@ -266,8 +268,18 @@ void Server::process_delivery(PartTx t) {
           PendingEntry& inserted = cert_.at(res.position);
           inserted.delivered_at = now();
           inserted.last_vote_resend = now();
+          SDUR_AUDIT(audit_version = res.version);
         }
       }
+      // Certification is a pure function of the delivered sequence: every
+      // replica of this partition must reach the same verdict at this
+      // delivery index.
+      SDUR_AUDIT(audit::Oracle::instance().record_certified(
+          cfg_.partition, dc_, t.id, static_cast<std::uint8_t>(vote), audit_version, self(),
+          now()));
+      SDUR_AUDIT_NOTE(now(), name() << " dc=" << dc_ << " certified tx " << t.id << " -> "
+                                    << to_string(vote) << " v" << audit_version
+                                    << (t.is_global() ? " (global)" : ""));
       if (t.is_global()) {
         record_own_vote(t, vote);
         send_vote_to_peers(t, vote);
@@ -278,6 +290,8 @@ void Server::process_delivery(PartTx t) {
         ++stats_.aborted;
         votes_.erase(t.id);
         remember_outcome(t.id, Outcome::kAbort);
+        SDUR_AUDIT(audit::Oracle::instance().record_completion(
+            t.id, cfg_.partition, audit::Oracle::kAbort, t.involved, self(), now()));
         if (t.contact == self() && t.client != 0) {
           send(t.client, OutcomeMsg{t.id, Outcome::kAbort}.to_message());
         }
@@ -290,6 +304,15 @@ void Server::process_delivery(PartTx t) {
 
 void Server::complete(const PendingEntry& e, Outcome outcome) {
   const PartTx& t = e.tx;
+  // 2PC safety and atomicity: the outcome must match every other replica's
+  // and partition's, and a global commit requires a commit vote from every
+  // involved partition (checked inside the oracle).
+  SDUR_AUDIT(audit::Oracle::instance().record_completion(
+      t.id, cfg_.partition,
+      outcome == Outcome::kCommit ? audit::Oracle::kCommit : audit::Oracle::kAbort, t.involved,
+      self(), now()));
+  SDUR_AUDIT_NOTE(now(), name() << " completed tx " << t.id << " -> " << to_string(outcome)
+                                << " v" << e.version);
   if (outcome == Outcome::kCommit) {
     // Writes are applied at the version pre-assigned at certification;
     // apply cost was already charged when the delivery was enqueued.
@@ -368,6 +391,11 @@ void Server::drain_pending() {
 void Server::record_own_vote(const PartTx& t, Outcome v) {
   auto [it, inserted] = own_votes_.try_emplace(t.id, v);
   if (!inserted) return;
+  // One vote per (transaction, partition), identical across the
+  // partition's replicas — votes may only differ *between* partitions.
+  SDUR_AUDIT(audit::Oracle::instance().record_vote(
+      t.id, cfg_.partition,
+      v == Outcome::kCommit ? audit::Oracle::kCommit : audit::Oracle::kAbort, self(), now()));
   own_votes_order_.push_back(t.id);
   while (own_votes_order_.size() > kOwnVoteMemory) {
     own_votes_.erase(own_votes_order_.front());
@@ -451,7 +479,17 @@ void Server::answer_read(std::uint64_t reqid, sim::ProcessId client, Key key, Ve
     return;
   }
   ++stats_.reads_served;
+  // Snapshot visibility: a read is only served at a fully-resolved
+  // snapshot (st <= stable), and the returned version must be visible at
+  // that snapshot — otherwise the client could observe a snapshot that
+  // still grows a hole.
+  SDUR_AUDIT_CHECK("server", "read-snapshot-visible", st <= cert_.stable(),
+                   name() << " serves key " << key << " at snapshot " << st
+                          << " above stable version " << cert_.stable());
   auto v = store_.get(key, st);
+  SDUR_AUDIT_CHECK("server", "read-version-in-snapshot", !v || v->version <= st,
+                   name() << " read of key " << key << " at snapshot " << st
+                          << " returned version " << (v ? v->version : -1));
   ReadRespMsg resp;
   resp.reqid = reqid;
   resp.key = key;
@@ -531,10 +569,16 @@ paxos::Value Server::encode_state() const {
   store_.encode(w);
   cert_.encode(w);
   w.u64(dc_);
-  w.varint(seen_.size());
-  for (TxId id : seen_) w.u64(id);
-  w.varint(poisoned_.size());
-  for (TxId id : poisoned_) w.u64(id);
+  // Sets are serialized sorted so a checkpoint is a canonical function of
+  // the replica's deterministic state, byte-identical across replicas.
+  std::vector<TxId> seen_ids(seen_.begin(), seen_.end());
+  std::sort(seen_ids.begin(), seen_ids.end());
+  w.varint(seen_ids.size());
+  for (TxId id : seen_ids) w.u64(id);
+  std::vector<TxId> poisoned_ids(poisoned_.begin(), poisoned_.end());
+  std::sort(poisoned_ids.begin(), poisoned_ids.end());
+  w.varint(poisoned_ids.size());
+  for (TxId id : poisoned_ids) w.u64(id);
   w.varint(own_votes_order_.size());
   for (TxId id : own_votes_order_) {
     w.u64(id);

@@ -83,6 +83,10 @@ class Server : public sim::Process {
   paxos::PaxosEngine& engine() { return *engine_; }
   const ServerConfig& config() const { return cfg_; }
 
+  /// TEST-ONLY access to the certifier, used by audit tests to inject a
+  /// certification bug on a single replica (tests/audit_test.cpp).
+  Certifier& certifier_for_test() { return cert_; }
+
  protected:
   void on_message(const sim::Message& m, sim::ProcessId from) override;
   void on_recover() override;

@@ -1,11 +1,20 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
+#include "audit/audit.h"
 #include "sim/process.h"
 
 namespace sdur::sim {
 
 Network::Network(Simulator& sim, Topology topology, std::uint64_t seed)
-    : sim_(sim), topology_(std::move(topology)), rng_(seed) {}
+    : sim_(sim), topology_(std::move(topology)), rng_(seed) {
+  // A Network marks the start of a fresh simulated run: clear the audit
+  // layer so violations and oracle entries from a previous run in the same
+  // process (earlier test, earlier deployment) cannot contaminate this one.
+  SDUR_AUDIT(audit::Auditor::instance().reset());
+  SDUR_AUDIT(audit::Oracle::instance().reset());
+}
 
 void Network::attach(Process* p, Location loc) {
   processes_[p->id()] = p;
@@ -23,6 +32,7 @@ std::vector<ProcessId> Network::process_ids() const {
   std::vector<ProcessId> ids;
   ids.reserve(processes_.size());
   for (const auto& [pid, p] : processes_) ids.push_back(pid);
+  std::sort(ids.begin(), ids.end());  // callers iterate; order must be stable
   return ids;
 }
 

@@ -2,9 +2,17 @@
 
 #include <stdexcept>
 
+#include "audit/audit.h"
+
 namespace sdur::storage {
 
 void CommitWindow::push(Version version, CommitRecord rec) {
+  // The window is a contiguous suffix of the commit sequence: a gap would
+  // silently exempt the missing commit from every later certification.
+  SDUR_AUDIT_CHECK("storage", "commit-window-contiguous",
+                   records_.empty() || version == newest() + 1,
+                   "commit record for tx " << rec.txid << " pushed at version " << version
+                                           << ", window newest is " << newest());
   if (!records_.empty() && version != newest() + 1) {
     throw std::logic_error("CommitWindow::push: versions must be contiguous");
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "audit/audit.h"
+
 namespace sdur::storage {
 
 std::optional<VersionedValue> MVStore::get(Key k, Version snapshot) const {
@@ -24,6 +26,12 @@ std::optional<VersionedValue> MVStore::get_latest(Key k) const {
 
 void MVStore::put(Key k, std::string value, Version version) {
   auto& versions = map_[k];
+  // Commits are applied in snapshot-counter order, so per-key versions are
+  // non-decreasing; a regression means the apply order diverged from the
+  // commit order.
+  SDUR_AUDIT_CHECK("storage", "version-order", versions.empty() || versions.back().version <= version,
+                   "key " << k << " written at version " << version << " after version "
+                          << versions.back().version);
   if (!versions.empty() && versions.back().version > version) {
     throw std::logic_error("MVStore::put: version regression");
   }
@@ -62,8 +70,14 @@ void MVStore::gc(Version horizon) {
 }
 
 void MVStore::encode(util::Writer& w) const {
-  w.varint(map_.size());
-  for (const auto& [k, versions] : map_) {
+  // Keys are serialized sorted so a checkpoint blob is a canonical function
+  // of the store's contents — byte-identical across replicas regardless of
+  // hash-map iteration order.
+  std::vector<Key> ks = keys();
+  std::sort(ks.begin(), ks.end());
+  w.varint(ks.size());
+  for (Key k : ks) {
+    const auto& versions = map_.at(k);
     w.u64(k);
     w.varint(versions.size());
     for (const auto& vv : versions) {

@@ -62,7 +62,8 @@ class MVStore {
   void encode(util::Writer& w) const;
   void install(util::Reader& r);
 
-  /// All keys present in the store (unordered). For tests and tooling.
+  /// All keys present in the store, in hash-map order — callers that care
+  /// about determinism must sort (encode() does).
   std::vector<Key> keys() const {
     std::vector<Key> out;
     out.reserve(map_.size());

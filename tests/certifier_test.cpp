@@ -329,7 +329,9 @@ TEST_F(CertifierTest, DeterministicUnderDifferentCompletionTiming) {
     const auto ra = a.process(t, d + 4, d);
     const auto rb = b.process(t, d + 4, d);
     ASSERT_EQ(ra.outcome, rb.outcome) << "tx " << i;
-    if (ra.outcome == Outcome::kCommit) ASSERT_EQ(ra.version, rb.version);
+    if (ra.outcome == Outcome::kCommit) {
+      ASSERT_EQ(ra.version, rb.version);
+    }
     while (completable(a)) {
       const PendingEntry e = a.pop_head();
       a.resolve(e, commits(e));

@@ -6,8 +6,16 @@
 // writes are recorded; after the run the per-key version order is read
 // back from a replica's multiversion store and the multiversion
 // serialization graph is checked for cycles (see workload/history.h).
+//
+// The same histories also cross-validate the two independent correctness
+// oracles against each other: the *online* invariant audit (src/audit/,
+// hooks firing inside the protocol as it runs) and this *offline* MVSG
+// check must both pass on every healthy run. They catch overlapping but
+// distinct failure modes, so a sweep where one trips and the other stays
+// green localizes a bug to either the protocol or the checker itself.
 #include <gtest/gtest.h>
 
+#include "audit/audit.h"
 #include "workload/driver.h"
 #include "workload/history.h"
 #include "workload/microbench.h"
@@ -108,6 +116,14 @@ TEST_P(SerializabilityProperty, HistoryIsSerializableAndReplicasAgree) {
 
   std::string why;
   EXPECT_TRUE(checker.check(&why)) << "serializability violated: " << why;
+
+#if SDUR_AUDIT_ON
+  // The online audit watched the same run the MVSG checker just validated;
+  // both oracles must agree the history is healthy.
+  EXPECT_TRUE(audit::Auditor::instance().clean())
+      << "online audit disagrees with offline MVSG check:\n"
+      << audit::Auditor::instance().summary();
+#endif
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -142,7 +158,7 @@ INSTANTIATE_TEST_SUITE_P(
                      .reorder_threshold = 40,
                      .items = 60,
                      .seed = 29}),
-    [](const ::testing::TestParamInfo<PropertyCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace sdur::workload

@@ -6,7 +6,7 @@
 // Examples:
 //   sdur_sim --deployment wan1 --workload micro --global-pct 10 --clients 600
 //   sdur_sim --deployment wan2 --workload social --reorder 20 --auto-load
-//   sdur_sim --deployment lan --partitions 8 --workload micro --seconds 20 \
+//   sdur_sim --deployment lan --partitions 8 --workload micro --seconds 20
 //            --zipf 0.99 --csv out.csv
 #include <cstdio>
 #include <cstdlib>
