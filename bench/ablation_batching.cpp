@@ -31,11 +31,20 @@ void run_case(std::size_t max_batch, std::size_t pipeline) {
               max_batch, pipeline, r.throughput(),
               static_cast<double>(r.p99("local")) / 1000.0,
               static_cast<double>(r.mean("local")) / 1000.0);
+  if (auto* rep = report()) {
+    rep->row()
+        .num("max_batch", static_cast<double>(max_batch))
+        .num("pipeline_window", static_cast<double>(pipeline))
+        .num("tput_tps", r.throughput())
+        .num("p99_local_ms", static_cast<double>(r.p99("local")) / 1000.0)
+        .num("avg_local_ms", static_cast<double>(r.mean("local")) / 1000.0);
+  }
 }
 
 }  // namespace
 
 int main() {
+  report_open("ablation_batching");
   print_header("Ablation — Paxos batching/pipelining (LAN, 0% globals, 256 clients)");
   run_case(1, 8);
   run_case(1, 64);

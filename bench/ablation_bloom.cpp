@@ -34,17 +34,27 @@ void run_case(bool bloom, std::size_t ops) {
   const double bytes_per_commit =
       committed == 0 ? 0 : static_cast<double>(r.net.bytes_sent) / static_cast<double>(committed);
   const std::uint64_t aborted = r.servers.aborted;
+  const double abort_pct =
+      committed + aborted == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(aborted) / static_cast<double>(committed + aborted);
   std::printf("  %-7s readsets, %2zu ops/txn: tput=%7.0f tps   wire=%7.0f B/commit   "
               "aborts=%.3f%%\n",
-              bloom ? "bloom" : "exact", ops, r.throughput(), bytes_per_commit,
-              committed + aborted == 0
-                  ? 0.0
-                  : 100.0 * static_cast<double>(aborted) / static_cast<double>(committed + aborted));
+              bloom ? "bloom" : "exact", ops, r.throughput(), bytes_per_commit, abort_pct);
+  if (auto* rep = report()) {
+    rep->row()
+        .str("readsets", bloom ? "bloom" : "exact")
+        .num("ops_per_txn", static_cast<double>(ops))
+        .num("tput_tps", r.throughput())
+        .num("wire_bytes_per_commit", bytes_per_commit)
+        .num("abort_pct", abort_pct);
+  }
 }
 
 }  // namespace
 
 int main() {
+  report_open("ablation_bloom");
   print_header("Ablation — exact vs. bloom-filter certification (WAN 1, 10% globals)");
   run_case(false, 2);
   run_case(true, 2);

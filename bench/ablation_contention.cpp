@@ -31,16 +31,25 @@ void run_case(std::uint64_t items, double theta) {
     committed += st.committed;
     aborted += st.aborted;
   }
+  const double abort_pct =
+      committed + aborted == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(aborted) / static_cast<double>(committed + aborted);
   std::printf("  items/partition=%7llu theta=%.2f: %8.0f tps   abort rate=%6.2f%%\n",
-              static_cast<unsigned long long>(items), theta, r.throughput(),
-              committed + aborted == 0
-                  ? 0.0
-                  : 100.0 * static_cast<double>(aborted) / static_cast<double>(committed + aborted));
+              static_cast<unsigned long long>(items), theta, r.throughput(), abort_pct);
+  if (auto* rep = report()) {
+    rep->row()
+        .num("items_per_partition", static_cast<double>(items))
+        .num("zipf_theta", theta)
+        .num("tput_tps", r.throughput())
+        .num("abort_pct", abort_pct);
+  }
 }
 
 }  // namespace
 
 int main() {
+  report_open("ablation_contention");
   print_header("Ablation — contention: keyspace size and Zipf skew (LAN, 10% globals)");
   run_case(100'000, 0.0);
   run_case(100'000, 0.8);

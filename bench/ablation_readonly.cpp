@@ -31,19 +31,28 @@ void run_mode(const char* label, bool certified) {
   const RunResult r = workload::run_experiment(dep, wl, final_config(128));
 
   const auto& tl = r.classes.at("timeline");
+  const double abort_pct = tl.committed + tl.aborted == 0
+                               ? 0.0
+                               : 100.0 * static_cast<double>(tl.aborted) /
+                                     static_cast<double>(tl.committed + tl.aborted);
   std::printf("  %-26s tput=%8.0f tps   p99=%8.1f ms   avg=%7.1f ms   aborts=%llu (%.2f%%)\n",
               label, r.throughput("timeline"), static_cast<double>(r.p99("timeline")) / 1000.0,
               static_cast<double>(r.mean("timeline")) / 1000.0,
-              static_cast<unsigned long long>(tl.aborted),
-              tl.committed + tl.aborted == 0
-                  ? 0.0
-                  : 100.0 * static_cast<double>(tl.aborted) /
-                        static_cast<double>(tl.committed + tl.aborted));
+              static_cast<unsigned long long>(tl.aborted), abort_pct);
+  if (auto* rep = report()) {
+    rep->row()
+        .str("label", label)
+        .num("tput_tps", r.throughput("timeline"))
+        .num("p99_ms", static_cast<double>(r.p99("timeline")) / 1000.0)
+        .num("avg_ms", static_cast<double>(r.mean("timeline")) / 1000.0)
+        .num("abort_pct", abort_pct);
+  }
 }
 
 }  // namespace
 
 int main() {
+  report_open("ablation_readonly");
   print_header("Ablation — read-only timeline: gossip snapshot vs certified (WAN 1)");
   run_mode("gossip snapshot (paper)", false);
   run_mode("certified at termination", true);

@@ -12,6 +12,7 @@ using namespace sdur;
 using namespace sdur::bench;
 
 int main() {
+  auto& rep = report_open("ablation_threshold");
   print_header("Ablation — reorder threshold sweep (WAN 1, 10% globals)");
 
   MicroSetup base;
@@ -33,6 +34,14 @@ int main() {
         static_cast<double>(r.mean("global")) / 1000.0,
         static_cast<unsigned long long>(r.servers.reordered),
         static_cast<unsigned long long>(r.servers.ticks_sent));
+    rep.row()
+        .num("threshold", threshold)
+        .num("p99_local_ms", static_cast<double>(r.p99("local")) / 1000.0)
+        .num("avg_local_ms", static_cast<double>(r.mean("local")) / 1000.0)
+        .num("p99_global_ms", static_cast<double>(r.p99("global")) / 1000.0)
+        .num("avg_global_ms", static_cast<double>(r.mean("global")) / 1000.0)
+        .num("reordered", static_cast<double>(r.servers.reordered))
+        .num("ticks_sent", static_cast<double>(r.servers.ticks_sent));
   }
   return 0;
 }

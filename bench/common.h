@@ -8,13 +8,21 @@
 // keep the throughput approximately constant").
 //
 // Durations scale with the SDUR_BENCH_SCALE environment variable
-// (default 1.0; smaller = faster, noisier).
+// (default 0.5; smaller = faster, noisier).
+//
+// Besides the human-readable tables on stdout, every bench writes its rows
+// as BENCH_<name>.json (see BenchReport below) so the figure data can be
+// consumed by scripts without scraping the text output.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "workload/driver.h"
 #include "workload/microbench.h"
@@ -29,15 +37,128 @@ using workload::RunResult;
 using workload::SocialConfig;
 using workload::SocialWorkload;
 
+/// Duration scale factor from SDUR_BENCH_SCALE. Defaults to 0.5, tuned so
+/// the full figure suite finishes in tens of minutes on one core; raise
+/// for tighter percentiles. Out-of-range (or unparseable) values are
+/// clamped to [0.01, 100] with a warning rather than silently ignored.
 inline double bench_scale() {
-  if (const char* env = std::getenv("SDUR_BENCH_SCALE")) {
+  static const double scale = [] {
+    const char* env = std::getenv("SDUR_BENCH_SCALE");
+    if (env == nullptr || *env == '\0') return 0.5;
     const double v = std::atof(env);
-    if (v > 0.01) return v;
-  }
-  // Default tuned so the full figure suite finishes in tens of minutes on
-  // one core; raise for tighter percentiles.
-  return 0.5;
+    if (v < 0.01 || v > 100.0) {
+      const double clamped = v < 0.01 ? 0.01 : 100.0;
+      std::fprintf(stderr, "SDUR_BENCH_SCALE=%s out of range [0.01, 100]; clamping to %g\n", env,
+                   clamped);
+      return clamped;
+    }
+    return v;
+  }();
+  return scale;
 }
+
+// --- Machine-readable output --------------------------------------------------
+
+/// Collects the rows a bench prints and writes them to
+/// $SDUR_BENCH_JSON_DIR/BENCH_<name>.json (default: current directory) at
+/// exit. One report per binary, created by report_open() at the top of
+/// main(); print_header() and print_class_row() feed the active report
+/// automatically, benches with bespoke tables add rows explicitly.
+class BenchReport {
+ public:
+  class Row {
+   public:
+    Row& num(const std::string& k, double v) {
+      char buf[64];
+      if (std::isfinite(v)) {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+      } else {
+        std::snprintf(buf, sizeof(buf), "null");
+      }
+      fields_.emplace_back(k, buf);
+      return *this;
+    }
+    Row& str(const std::string& k, const std::string& v) {
+      fields_.emplace_back(k, quote(v));
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';  // control chars never appear in labels; keep JSON valid
+          continue;
+        }
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  ~BenchReport() { flush(); }
+
+  /// Appends a row; the current section (last print_header) is attached.
+  Row& row() {
+    rows_.emplace_back();
+    if (!section_.empty()) rows_.back().str("section", section_);
+    return rows_.back();
+  }
+
+  void set_section(const std::string& s) { section_ = s; }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const char* dir = std::getenv("SDUR_BENCH_JSON_DIR");
+    const std::string path =
+        (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"scale\":%.10g,\"rows\":[", name_.c_str(), bench_scale());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs(i == 0 ? "\n  {" : ",\n  {", f);
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s%s:%s", j == 0 ? "" : ",", Row::quote(fields[j].first).c_str(),
+                     fields[j].second.c_str());
+      }
+      std::fputc('}', f);
+    }
+    std::fputs(rows_.empty() ? "]}\n" : "\n]}\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::string section_;
+  std::deque<Row> rows_;  // deque: row() hands out stable references
+  bool flushed_ = false;
+};
+
+inline BenchReport*& report_slot() {
+  static BenchReport* active = nullptr;
+  return active;
+}
+
+/// Opens this binary's report (call once at the top of main).
+inline BenchReport& report_open(const std::string& name) {
+  static BenchReport rep(name);
+  report_slot() = &rep;
+  return rep;
+}
+
+/// The active report, or nullptr when the binary opened none.
+inline BenchReport* report() { return report_slot(); }
 
 inline sim::Time scaled(sim::Time t) {
   return static_cast<sim::Time>(static_cast<double>(t) * bench_scale());
@@ -54,6 +175,12 @@ struct MicroSetup {
   sim::Time fixed_delay = 0;
   bool bloom = false;
   std::uint64_t seed = 1;
+  /// P-DUR multi-core replica model (src/pdur/): > 1 gives every server
+  /// this many simulated cores and makes the workload core-aware.
+  std::uint32_t pdur_cores = 1;
+  /// Fraction of transactions whose keys deliberately span >= 2 cores
+  /// (only meaningful with pdur_cores > 1).
+  double cross_core_fraction = 0.0;
 };
 
 inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
@@ -65,6 +192,7 @@ inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
   spec.server.delaying_enabled = s.delaying;
   spec.server.fixed_delay = s.fixed_delay;
   spec.server.bloom_readsets = s.bloom;
+  spec.server.pdur.cores = s.pdur_cores;
   spec.seed = s.seed;
   return std::make_unique<Deployment>(spec);
 }
@@ -92,6 +220,8 @@ inline std::uint32_t find_clients(const MicroSetup& s, std::uint32_t start = 16,
   MicroConfig mc;
   mc.items_per_partition = s.items_per_partition;
   mc.global_fraction = s.global_fraction;
+  mc.cores = s.pdur_cores;
+  mc.cross_core_fraction = s.cross_core_fraction;
   return workload::find_operating_point(
       [&] { return make_micro_deployment(s); },
       [&] { return std::make_unique<MicroWorkload>(mc); }, probe_config(), 0.75, start, max);
@@ -102,6 +232,8 @@ inline RunResult run_micro(const MicroSetup& s, std::uint32_t clients) {
   MicroConfig mc;
   mc.items_per_partition = s.items_per_partition;
   mc.global_fraction = s.global_fraction;
+  mc.cores = s.pdur_cores;
+  mc.cross_core_fraction = s.cross_core_fraction;
   MicroWorkload wl(mc);
   auto dep = make_micro_deployment(s);
   return workload::run_experiment(*dep, wl, final_config(clients));
@@ -131,16 +263,26 @@ inline RunResult run_micro_matched(const MicroSetup& s, std::uint32_t start_clie
 
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+  if (auto* rep = report()) rep->set_section(title);
 }
 
 /// Prints one row in the paper's style: throughput (tps), 99th percentile
 /// (bars in the paper) and average (diamonds) latency in ms.
 inline void print_class_row(const char* label, const RunResult& r, const std::string& cls) {
-  std::printf("  %-28s tput=%8.0f tps   p99=%8.1f ms   avg=%8.1f ms   aborts=%llu\n", label,
+  const double aborts =
+      static_cast<double>(r.classes.count(cls) ? r.classes.at(cls).aborted : 0);
+  std::printf("  %-28s tput=%8.0f tps   p99=%8.1f ms   avg=%8.1f ms   aborts=%.0f\n", label,
               r.throughput(cls), static_cast<double>(r.p99(cls)) / 1000.0,
-              static_cast<double>(r.mean(cls)) / 1000.0,
-              static_cast<unsigned long long>(
-                  r.classes.count(cls) ? r.classes.at(cls).aborted : 0));
+              static_cast<double>(r.mean(cls)) / 1000.0, aborts);
+  if (auto* rep = report()) {
+    rep->row()
+        .str("label", label)
+        .str("class", cls)
+        .num("tput_tps", r.throughput(cls))
+        .num("p99_ms", static_cast<double>(r.p99(cls)) / 1000.0)
+        .num("avg_ms", static_cast<double>(r.mean(cls)) / 1000.0)
+        .num("aborts", aborts);
+  }
 }
 
 /// Prints a latency CDF (paper Figure 2, right panels), downsampled.

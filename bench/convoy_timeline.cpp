@@ -43,11 +43,20 @@ void run_case(const char* label, std::uint32_t threshold) {
   }
   std::printf("  avg [%s]\n  max [%s]\n  mean of per-window max: %.1f ms\n", avg_line.c_str(),
               max_line.c_str(), worst_sum / static_cast<double>(it->second.size()));
+  if (auto* rep = report()) {
+    rep->row()
+        .str("label", label)
+        .num("threshold", threshold)
+        .num("p99_local_ms", static_cast<double>(r.p99("local")) / 1000.0)
+        .num("avg_local_ms", static_cast<double>(r.mean("local")) / 1000.0)
+        .num("mean_window_max_ms", worst_sum / static_cast<double>(it->second.size()));
+  }
 }
 
 }  // namespace
 
 int main() {
+  report_open("convoy_timeline");
   print_header("Convoy timeline — WAN 1, 1% globals, light load");
   run_case("baseline (locals stuck behind globals)", 0);
   run_case("reordering R=160", 160);

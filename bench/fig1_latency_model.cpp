@@ -14,10 +14,12 @@
 // The fault-tolerance rows are demonstrated by actually crashing a region.
 #include <cstdio>
 
+#include "common.h"
 #include "sdur/deployment.h"
 #include "sdur/partitioning.h"
 
 using namespace sdur;
+using namespace sdur::bench;
 
 namespace {
 
@@ -80,11 +82,15 @@ struct Probe {
 
 void row(const char* name, double measured_ms, double model_ms) {
   std::printf("  %-22s measured %8.1f ms   model %8.1f ms\n", name, measured_ms, model_ms);
+  if (auto* rep = report()) {
+    rep->row().str("label", name).num("measured_ms", measured_ms).num("model_ms", model_ms);
+  }
 }
 
 }  // namespace
 
 int main() {
+  report_open("fig1_latency_model");
   const double delta = 1.0;   // intra-region one-way (ms)
   const double Delta = 45.0;  // EU <-> US-EAST one-way (ms)
 

@@ -15,6 +15,7 @@ using namespace sdur;
 using namespace sdur::bench;
 
 int main() {
+  report_open("fig2_baseline");
   const double mixes[] = {0.0, 0.01, 0.10, 0.50};
 
   for (auto kind : {DeploymentSpec::Kind::kWan1, DeploymentSpec::Kind::kWan2}) {

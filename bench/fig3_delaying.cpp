@@ -12,6 +12,7 @@ using namespace sdur;
 using namespace sdur::bench;
 
 int main() {
+  report_open("fig3_delaying");
   const double mixes[] = {0.01, 0.10, 0.50};
   const sim::Time delays[] = {0, sim::msec(20), sim::msec(40), sim::msec(60)};
 

@@ -13,6 +13,7 @@ using namespace sdur;
 using namespace sdur::bench;
 
 int main() {
+  report_open("fig4_reorder_wan1");
   const double mixes[] = {0.01, 0.10, 0.50};
   const std::uint32_t thresholds[] = {0, 80, 160, 320};
 

@@ -12,6 +12,7 @@ using namespace sdur;
 using namespace sdur::bench;
 
 int main() {
+  report_open("fig5_reorder_wan2");
   const double mixes[] = {0.01, 0.10, 0.50};
   const std::uint32_t thresholds[] = {0, 40, 80, 120};
 

@@ -27,6 +27,7 @@ std::unique_ptr<Deployment> make_social_dep(DeploymentSpec::Kind kind, std::uint
 }  // namespace
 
 int main() {
+  report_open("fig6_social");
   SocialConfig sc;
   sc.users_per_partition = 20'000;  // paper: 100k/partition; see DESIGN.md
 

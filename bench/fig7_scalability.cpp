@@ -13,6 +13,7 @@ using namespace sdur;
 using namespace sdur::bench;
 
 int main() {
+  auto& rep = report_open("fig7_scalability");
   print_header("DSN'12 scalability — local throughput vs. partitions (LAN)");
 
   for (double mix : {0.0, 0.10}) {
@@ -37,6 +38,13 @@ int main() {
           "local p99 %.1f ms\n",
           partitions, clients, tput, tput / (base_tput * partitions),
           static_cast<double>(r.p99("local")) / 1000.0);
+      rep.row()
+          .num("partitions", partitions)
+          .num("global_fraction", mix)
+          .num("clients", clients)
+          .num("tput_tps", tput)
+          .num("scaling_vs_baseline", tput / (base_tput * partitions))
+          .num("p99_local_ms", static_cast<double>(r.p99("local")) / 1000.0);
     }
   }
   return 0;

@@ -1,11 +1,24 @@
 #!/bin/bash
 out=/root/repo/bench_output.txt
+json_dir=/root/repo/bench_json
+mkdir -p "$json_dir"
+# Figure benches write machine-readable BENCH_<name>.json rows here
+# (see BenchReport in bench/common.h).
+export SDUR_BENCH_JSON_DIR="$json_dir"
 : > "$out"
 for b in /root/repo/build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "### $(basename "$b") ###" >> "$out"
+  name=$(basename "$b")
+  echo "### $name ###" >> "$out"
+  args=()
+  case "$name" in
+    # google-benchmark binary: use its native JSON reporter.
+    micro_components)
+      args=(--benchmark_out="$json_dir/BENCH_micro_components.json" --benchmark_out_format=json)
+      ;;
+  esac
   start=$SECONDS
-  "$b" >> "$out" 2>&1
+  "$b" "${args[@]}" >> "$out" 2>&1
   echo "[wall $((SECONDS-start))s]" >> "$out"
   echo >> "$out"
 done

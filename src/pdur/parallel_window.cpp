@@ -1,0 +1,71 @@
+#include "pdur/parallel_window.h"
+
+#include <algorithm>
+
+namespace sdur::pdur {
+
+namespace {
+
+/// Projects a KeySet onto one core's keys. Bloom sets are shared whole
+/// (they cannot be enumerated); exact sets are filtered, preserving the
+/// sorted order KeySet::exact expects.
+util::KeySet project(const util::KeySet& s, const CorePartitioner& part, CoreId c) {
+  if (s.is_bloom()) return s;
+  return util::KeySet::exact(part.keys_of(s.keys(), c));
+}
+
+}  // namespace
+
+void ParallelWindow::insert(storage::Version v, const util::KeySet& readset,
+                            const util::KeySet& write_keys, const std::vector<CoreId>& cores) {
+  for (CoreId c : cores) {
+    Entry e;
+    e.version = v;
+    e.readset = project(readset, part_, c);
+    e.write_keys = project(write_keys, part_, c);
+    if (e.readset.empty() && e.write_keys.empty()) continue;
+    lanes_[c].push_back(std::move(e));
+  }
+}
+
+bool ParallelWindow::conflicts(const util::KeySet& readset, const util::KeySet& write_keys,
+                               bool global, const std::vector<CoreId>& cores,
+                               storage::Version st) const {
+  for (CoreId c : cores) {
+    const auto& lane = lanes_[c];
+    // Lane entries are version-ascending; start past the snapshot.
+    auto it = std::lower_bound(lane.begin(), lane.end(), st + 1,
+                               [](const Entry& e, storage::Version v) { return e.version < v; });
+    if (it == lane.end()) continue;
+    // This core's vote: scan its slice of the window against the
+    // transaction's projection onto its keys (Algorithm 2's check,
+    // restricted to one sub-partition).
+    const util::KeySet rs_c = project(readset, part_, c);
+    const util::KeySet ws_c = project(write_keys, part_, c);
+    for (; it != lane.end(); ++it) {
+      ++scanned_;
+      if (rs_c.intersects(it->write_keys)) return true;
+      if (global && ws_c.intersects(it->readset)) return true;
+    }
+  }
+  return false;
+}
+
+void ParallelWindow::evict_below(storage::Version base) {
+  for (auto& lane : lanes_) {
+    while (!lane.empty() && lane.front().version < base) lane.pop_front();
+  }
+}
+
+void ParallelWindow::clear() {
+  for (auto& lane : lanes_) lane.clear();
+  scanned_ = 0;
+}
+
+std::size_t ParallelWindow::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.size();
+  return n;
+}
+
+}  // namespace sdur::pdur

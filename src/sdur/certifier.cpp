@@ -42,7 +42,27 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
     result.stale_snapshot = true;
     return result;  // abort: snapshot predates the certification window
   }
-  if (!test_skip_conflict_check_ && has_conflict(t, st)) return result;  // abort
+  if (parallel()) {
+    result.cores = window_->partitioner().home_cores(t.readset, t.write_keys);
+    if (!test_skip_conflict_check_ &&
+        window_->conflicts(t.readset, t.write_keys, t.is_global(), result.cores, st)) {
+      // The per-core decomposition must reach the exact verdict of the
+      // serial scan — P-DUR's correctness argument (a key is homed on
+      // exactly one core, so the union of per-core intersections equals
+      // the full intersection).
+      SDUR_AUDIT_CHECK("pdur", "parallel-serial-equivalence", has_conflict(t, st),
+                       "parallel certifier aborts tx " << t.id << " (st=" << st
+                                                       << ") but serial scan finds no conflict");
+      return result;  // abort
+    }
+    if (!test_skip_conflict_check_) {
+      SDUR_AUDIT_CHECK("pdur", "parallel-serial-equivalence", !has_conflict(t, st),
+                       "parallel certifier commits tx " << t.id << " (st=" << st
+                                                        << ") but serial scan finds a conflict");
+    }
+  } else if (!test_skip_conflict_check_ && has_conflict(t, st)) {
+    return result;  // abort
+  }
 
   std::size_t position;
   if (t.is_global()) {
@@ -71,8 +91,9 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
   result.reordered = position < pl_.size();
   result.version = ++cc_;
   slots_.push_back(Slot{t.id, t.is_global(), SlotStatus::kPending, t.readset, t.write_keys});
+  if (parallel()) window_->insert(result.version, t.readset, t.write_keys, result.cores);
   pl_.insert(pl_.begin() + static_cast<std::ptrdiff_t>(position),
-             PendingEntry{t, rt, result.version, 0, 0, false});
+             PendingEntry{t, rt, result.version, 0, 0, false, true});
   // The window holds exactly one slot per assigned version in [base, cc]:
   // a gap would let a conflicting transaction escape certification.
   SDUR_AUDIT_CHECK("certifier", "window-contiguous",
@@ -86,6 +107,15 @@ PendingEntry Certifier::pop_head() {
   PendingEntry e = std::move(pl_.front());
   pl_.pop_front();
   return e;
+}
+
+void Certifier::mark_ready(Version v) {
+  for (PendingEntry& e : pl_) {
+    if (e.version == v) {
+      e.ready = true;
+      return;
+    }
+  }
 }
 
 void Certifier::resolve(const PendingEntry& entry, bool committed) {
@@ -120,6 +150,7 @@ void Certifier::resolve(const PendingEntry& entry, bool committed) {
     slots_.pop_front();
     ++base_;
   }
+  if (parallel()) window_->evict_below(base_);
 }
 
 void Certifier::encode(util::Writer& w) const {
@@ -169,6 +200,20 @@ void Certifier::install(util::Reader& r) {
     e.version = r.i64();
     pl_.push_back(std::move(e));
   }
+  rebuild_window();
+}
+
+void Certifier::rebuild_window() {
+  if (!parallel()) return;
+  window_->clear();
+  // The checkpoint carries the full keysets per slot; the per-core
+  // projections and home cores are recomputed — a pure function of the
+  // keysets, so every replica rebuilds identical lanes.
+  for (Version v = base_; v <= cc_; ++v) {
+    const Slot& s = slots_[static_cast<std::size_t>(v - base_)];
+    window_->insert(v, s.readset, s.write_keys,
+                    window_->partitioner().home_cores(s.readset, s.write_keys));
+  }
 }
 
 void Certifier::reset() {
@@ -177,6 +222,7 @@ void Certifier::reset() {
   cc_ = 0;
   stable_ = 0;
   pl_.clear();
+  if (parallel()) window_->clear();
 }
 
 }  // namespace sdur

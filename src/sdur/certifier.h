@@ -34,11 +34,22 @@
 // acknowledged) earlier but keeps its delivery-ordered version; this is
 // sound because reordering requires their read/write sets to be disjoint
 // in both directions, i.e. the two transactions commute.
+// P-DUR (src/pdur/, arXiv:1312.0742): constructed with cores > 1, the
+// certifier runs the parallel decomposition of the conflict check — every
+// core keeps a window over its own sub-partition of the keys and votes on
+// its slice; the transaction aborts iff any home core saw a conflict. The
+// decomposition is outcome-equivalent to the serial scan (a key lives on
+// exactly one core), version assignment stays on the shared
+// delivery-ordered counter, and SDUR_AUDIT builds cross-check every
+// parallel verdict against the serial scan in place.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <vector>
 
+#include "pdur/parallel_window.h"
 #include "sdur/transaction.h"
 #include "util/bloom.h"
 
@@ -54,6 +65,11 @@ struct PendingEntry {
   sim::Time delivered_at = 0;
   sim::Time last_vote_resend = 0;
   bool abort_requested = false;
+  /// P-DUR: false while the transaction's simulated core work is still in
+  /// flight; the pending list never completes an entry (not even a
+  /// committed local) before its cores finished. Always true in the serial
+  /// model.
+  bool ready = true;
 };
 
 class Certifier {
@@ -69,8 +85,12 @@ class Certifier {
     util::KeySet write_keys;
   };
 
-  explicit Certifier(std::size_t window_capacity)
-      : window_capacity_(window_capacity == 0 ? 1 : window_capacity) {}
+  /// `cores > 1` switches certification to the P-DUR per-core windows;
+  /// `cores == 1` (default) is the serial model, bit-identical to before.
+  explicit Certifier(std::size_t window_capacity, std::uint32_t cores = 1)
+      : window_capacity_(window_capacity == 0 ? 1 : window_capacity) {
+    if (cores > 1) window_ = std::make_unique<pdur::ParallelWindow>(cores);
+  }
 
   struct Result {
     Outcome outcome = Outcome::kAbort;
@@ -83,6 +103,9 @@ class Certifier {
     /// True if the abort was caused by the snapshot falling out of the
     /// certification window.
     bool stale_snapshot = false;
+    /// P-DUR: the home cores of the transaction (populated whenever the
+    /// certifier runs in multi-core mode, for every non-stale verdict).
+    std::vector<pdur::CoreId> cores;
   };
 
   /// Certifies transaction `t` delivered with reorder threshold `rt` when
@@ -97,6 +120,10 @@ class Certifier {
   const PendingEntry& at(std::size_t i) const { return pl_[i]; }
   PendingEntry& at(std::size_t i) { return pl_[i]; }
   PendingEntry pop_head();
+
+  /// P-DUR: marks the pending entry holding version `v` ready (its core
+  /// work completed). No-op if the entry already left the list.
+  void mark_ready(Version v);
 
   // --- Resolution ----------------------------------------------------------
   /// Resolves a completed transaction's slot (after the caller popped it
@@ -134,8 +161,13 @@ class Certifier {
 
   void reset();
 
+  /// P-DUR mode (cores > 1 at construction).
+  bool parallel() const { return window_ != nullptr; }
+
  private:
   bool has_conflict(const PartTx& t, Version st) const;
+  /// Rebuilds the per-core lanes from slots_ (after install()).
+  void rebuild_window();
 
   std::size_t window_capacity_;
   bool test_skip_conflict_check_ = false;
@@ -144,6 +176,9 @@ class Certifier {
   Version cc_ = 0;          // last assigned version
   Version stable_ = 0;      // resolved prefix
   std::deque<PendingEntry> pl_;
+  /// P-DUR per-core windows; null in the serial model. Mirrors slots_
+  /// (projected per core), rebuilt from it on install().
+  std::unique_ptr<pdur::ParallelWindow> window_;
 };
 
 }  // namespace sdur

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pdur/config.h"
 #include "sdur/transaction.h"
 #include "sim/time.h"
 #include "sim/topology.h"
@@ -92,6 +93,11 @@ struct ServerConfig {
   sim::Time apply_cost_per_write = sim::usec(10);
   /// Base per-message handling cost.
   sim::Time message_service_time = sim::usec(15);
+
+  /// P-DUR multi-core replica model (src/pdur/). pdur.cores > 1 enables
+  /// per-core parallel certification/execution; 1 keeps the legacy serial
+  /// replica, bit-identical to earlier builds.
+  pdur::Config pdur;
 
   // --- Routing (filled in by the deployment builder) ------------------------
 

@@ -175,6 +175,8 @@ Server::Stats Deployment::total_stats() const {
     total.reads_served += st.reads_served;
     total.reads_routed += st.reads_routed;
     total.reads_deferred += st.reads_deferred;
+    total.pdur_single_core += st.pdur_single_core;
+    total.pdur_cross_core += st.pdur_cross_core;
   }
   return total;
 }

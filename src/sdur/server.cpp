@@ -21,9 +21,16 @@ Server::Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerC
                    loc),
       cfg_(std::move(cfg)),
       partitioning_(std::move(partitioning)),
-      cert_(cfg_.window_capacity),
+      cert_(cfg_.window_capacity, cfg_.pdur.cores),
       gsc_(cfg_.num_partitions, 0) {
   set_message_service_time(cfg_.message_service_time);
+  if (parallel()) {
+    // P-DUR replica: core 0 is the dispatcher (message ingress + delivery
+    // fan-out); certification/execution work runs on the keys' home cores.
+    set_core_count(cfg_.pdur.cores);
+    set_message_service_time(cfg_.pdur.ingress_cost);
+    executor_ = std::make_unique<pdur::Executor>(*this, cfg_.pdur);
+  }
   engine_ = std::make_unique<paxos::PaxosEngine>(
       *this, std::move(paxos_cfg), std::make_unique<paxos::InMemoryDurableLog>(),
       [this](const paxos::Value& v) { adeliver(v); });
@@ -57,7 +64,7 @@ void Server::on_message(const sim::Message& m, sim::ProcessId from) {
     }
     case msgtype::kReadRouted: {
       const auto msg = ReadRoutedMsg::decode(r);
-      answer_read(msg.reqid, msg.client, msg.key, msg.snapshot);
+      schedule_read(msg.reqid, msg.client, msg.key, msg.snapshot);
       break;
     }
     case msgtype::kVote: {
@@ -210,8 +217,11 @@ void Server::adeliver(const paxos::Value& value) {
   // Control values (ticks, abort requests) are nearly free to process.
   sim::Time cost = sim::usec(2);
   if (t.kind == PartTx::Kind::kTxn) {
-    cost = cfg_.certification_cost +
-           cfg_.apply_cost_per_write * static_cast<sim::Time>(t.writes.size());
+    // P-DUR: the dispatcher only routes the transaction to its home cores;
+    // certification + apply cost is charged on those cores instead.
+    cost = parallel() ? cfg_.pdur.dispatch_cost
+                      : cfg_.certification_cost +
+                            cfg_.apply_cost_per_write * static_cast<sim::Time>(t.writes.size());
   }
   enqueue_work(cost, [this, t = std::move(t)]() mutable { process_delivery(std::move(t)); });
 }
@@ -258,9 +268,10 @@ void Server::process_delivery(PartTx t) {
       seen_.insert(t.id);
       const std::uint64_t rt = dc_ + cfg_.reorder_threshold;
       Outcome vote = Outcome::kAbort;
+      Certifier::Result res;
       SDUR_AUDIT(Version audit_version = 0);
       if (!poisoned_.contains(t.id)) {
-        const Certifier::Result res = cert_.process(t, rt, dc_);
+        res = cert_.process(t, rt, dc_);
         vote = res.outcome;
         if (res.stale_snapshot) ++stats_.stale_snapshot_aborts;
         if (res.reordered) ++stats_.reordered;
@@ -273,13 +284,38 @@ void Server::process_delivery(PartTx t) {
       }
       // Certification is a pure function of the delivered sequence: every
       // replica of this partition must reach the same verdict at this
-      // delivery index.
+      // delivery index. This holds in the P-DUR model too — the verdict is
+      // computed here, in delivery order, on the dispatcher; the cores only
+      // decide when its effects become visible.
       SDUR_AUDIT(audit::Oracle::instance().record_certified(
           cfg_.partition, dc_, t.id, static_cast<std::uint8_t>(vote), audit_version, self(),
           now()));
       SDUR_AUDIT_NOTE(now(), name() << " dc=" << dc_ << " certified tx " << t.id << " -> "
                                     << to_string(vote) << " v" << audit_version
                                     << (t.is_global() ? " (global)" : ""));
+      if (parallel()) {
+        // P-DUR: charge the certification/apply work on the transaction's
+        // home cores and defer the verdict's effects (vote messages, abort
+        // answer, completion) until every involved core finished. The
+        // pending entry stays not-ready so drain_pending cannot complete
+        // it early.
+        if (vote == Outcome::kCommit) cert_.at(res.position).ready = false;
+        if (res.cores.size() > 1) {
+          ++stats_.pdur_cross_core;
+        } else {
+          ++stats_.pdur_single_core;
+        }
+        sim::Time work = cfg_.certification_cost;
+        if (vote == Outcome::kCommit) {
+          work += cfg_.apply_cost_per_write * static_cast<sim::Time>(t.writes.size());
+        }
+        const Version version = res.version;
+        const std::vector<pdur::CoreId> cores = std::move(res.cores);
+        executor_->run(cores, work, [this, t = std::move(t), vote, version] {
+          finish_core_work(t, vote, version);
+        });
+        break;
+      }
       if (t.is_global()) {
         record_own_vote(t, vote);
         send_vote_to_peers(t, vote);
@@ -297,6 +333,28 @@ void Server::process_delivery(PartTx t) {
         }
       }
       break;
+    }
+  }
+  drain_pending();
+}
+
+void Server::finish_core_work(const PartTx& t, Outcome vote, Version version) {
+  // Runs when every home core of the transaction finished its simulated
+  // work (epoch-guarded: never after a crash). The verdict itself was
+  // fixed at dispatch; only now do its effects leave the replica.
+  if (vote == Outcome::kCommit) cert_.mark_ready(version);
+  if (t.is_global()) {
+    record_own_vote(t, vote);
+    send_vote_to_peers(t, vote);
+  }
+  if (vote == Outcome::kAbort) {
+    ++stats_.aborted;
+    votes_.erase(t.id);
+    remember_outcome(t.id, Outcome::kAbort);
+    SDUR_AUDIT(audit::Oracle::instance().record_completion(
+        t.id, cfg_.partition, audit::Oracle::kAbort, t.involved, self(), now()));
+    if (t.contact == self() && t.client != 0) {
+      send(t.client, OutcomeMsg{t.id, Outcome::kAbort}.to_message());
     }
   }
   drain_pending();
@@ -350,7 +408,7 @@ void Server::schedule_threshold_tick() {
   const std::uint64_t dc_at_schedule = dc_;
   set_timer(cfg_.tick_interval, [this, dc_at_schedule] {
     tick_pending_ = false;
-    const bool blocked = !cert_.empty() && cert_.head().tx.is_global() &&
+    const bool blocked = !cert_.empty() && cert_.head().ready && cert_.head().tx.is_global() &&
                          has_all_votes(cert_.head()) && dc_ < cert_.head().rt;
     if (!blocked) return;
     if (dc_ == dc_at_schedule) {
@@ -368,6 +426,9 @@ void Server::schedule_threshold_tick() {
 void Server::drain_pending() {
   while (!cert_.empty()) {
     PendingEntry& head = cert_.head();
+    // P-DUR: the head's core work is still in flight — nothing behind it
+    // may complete either (completion is in version order).
+    if (!head.ready) break;
     if (!head.tx.is_global()) {
       const PendingEntry e = cert_.pop_head();
       complete(e, Outcome::kCommit);
@@ -464,6 +525,18 @@ void Server::handle_read(std::uint64_t reqid, sim::ProcessId client, Key key, Ve
     const sim::ProcessId target =
         p < cfg_.read_route.size() ? cfg_.read_route[p] : cfg_.partition_servers[p].front();
     send(target, ReadRoutedMsg{reqid, client, key, snapshot}.to_message());
+    return;
+  }
+  schedule_read(reqid, client, key, snapshot);
+}
+
+void Server::schedule_read(std::uint64_t reqid, sim::ProcessId client, Key key,
+                           Version snapshot) {
+  if (parallel()) {
+    // P-DUR: the read runs on the key's owning core (per-core version
+    // ownership) — reads of different sub-partitions proceed in parallel.
+    executor_->run_read(
+        key, [this, reqid, client, key, snapshot] { answer_read(reqid, client, key, snapshot); });
     return;
   }
   answer_read(reqid, client, key, snapshot);
@@ -627,12 +700,15 @@ void Server::install_state(const paxos::Value& blob) {
   // are re-fetched by the vote-request repair in liveness_tick.
   votes_.clear();
   for (const auto& [id, v] : own_votes_) votes_[id][cfg_.partition] = v;
-  // Stamp fresh liveness bookkeeping on restored pending entries.
+  // Stamp fresh liveness bookkeeping on restored pending entries. Restored
+  // entries are ready: their core work happened before the checkpoint (the
+  // checkpoint itself carries the resulting state).
   for (std::size_t i = 0; i < cert_.size(); ++i) {
     PendingEntry& e = cert_.at(i);
     e.delivered_at = now();
     e.last_vote_resend = 0;
     e.abort_requested = false;
+    e.ready = true;
   }
   drain_pending();
   service_deferred_reads();

@@ -29,6 +29,7 @@
 #include <unordered_set>
 
 #include "paxos/engine.h"
+#include "pdur/executor.h"
 #include "sdur/certifier.h"
 #include "sdur/config.h"
 #include "sdur/messages.h"
@@ -52,6 +53,8 @@ class Server : public sim::Process {
     std::uint64_t reads_served = 0;
     std::uint64_t reads_routed = 0;
     std::uint64_t reads_deferred = 0;
+    std::uint64_t pdur_single_core = 0;  // txns homed on one core (P-DUR fast path)
+    std::uint64_t pdur_cross_core = 0;   // txns that paid the cross-core barrier
   };
 
   Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerConfig cfg,
@@ -106,6 +109,13 @@ class Server : public sim::Process {
   void drain_pending();
   void schedule_threshold_tick();
 
+  // --- P-DUR multi-core replica (src/pdur/) ---------------------------------
+  /// True when this replica models pdur.cores > 1 simulated cores.
+  bool parallel() const { return cfg_.pdur.cores > 1; }
+  /// Runs once a transaction's per-core work finished: releases the
+  /// pending entry, emits the deferred effects (votes, abort answers).
+  void finish_core_work(const PartTx& t, Outcome vote, Version version);
+
   // --- Votes ----------------------------------------------------------------
   void record_own_vote(const PartTx& t, Outcome v);
   void send_vote_to_peers(const PartTx& t, Outcome v);
@@ -115,6 +125,9 @@ class Server : public sim::Process {
 
   // --- Reads ------------------------------------------------------------------
   void handle_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot);
+  /// Charges the read on the key's owning core (parallel mode) before
+  /// answering; serial mode answers inline.
+  void schedule_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot);
   void answer_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot);
   void service_deferred_reads();
 
@@ -171,6 +184,8 @@ class Server : public sim::Process {
   std::deque<DeferredRead> deferred_reads_;
 
   std::unique_ptr<paxos::PaxosEngine> engine_;
+  /// P-DUR core executor; null in the serial (cores == 1) model.
+  std::unique_ptr<pdur::Executor> executor_;
   Stats stats_;
   bool tick_pending_ = false;
 };

@@ -1,5 +1,7 @@
 #include "sim/process.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace sdur::sim {
@@ -22,7 +24,7 @@ void Process::recover() {
   if (!crashed_) return;
   crashed_ = false;
   ++epoch_;
-  cpu_free_at_ = now();
+  std::fill(cpu_free_at_.begin(), cpu_free_at_.end(), now());
   SDUR_INFO(name_) << "recovered";
   on_recover();
 }
@@ -41,11 +43,54 @@ void Process::set_timer(Time delay, std::function<void()> fn) {
   });
 }
 
-void Process::enqueue_work(Time cost, std::function<void()> fn) {
+void Process::set_core_count(std::size_t cores) {
+  if (cores == 0) cores = 1;
+  cpu_free_at_.resize(cores, now());
+  core_busy_.resize(cores, 0);
+}
+
+void Process::charge_core(std::size_t core, Time cost) {
+  if (core >= cpu_free_at_.size()) core = cpu_free_at_.size() - 1;
+  if (cost < 0) cost = 0;
+  cpu_free_at_[core] = std::max(now(), cpu_free_at_[core]) + cost;
+  core_busy_[core] += cost;
+}
+
+void Process::enqueue_work_on(std::size_t core, Time cost, std::function<void()> fn) {
   if (crashed_) return;
-  const Time start = std::max(now(), cpu_free_at_);
-  const Time done = start + (cost < 0 ? 0 : cost);
-  cpu_free_at_ = done;
+  if (core >= cpu_free_at_.size()) core = cpu_free_at_.size() - 1;
+  if (cost < 0) cost = 0;
+  const Time start = std::max(now(), cpu_free_at_[core]);
+  const Time done = start + cost;
+  cpu_free_at_[core] = done;
+  core_busy_[core] += cost;
+  const std::uint64_t epoch = epoch_;
+  net_.simulator().schedule_at(done, [this, epoch, fn = std::move(fn)]() {
+    if (crashed_ || epoch_ != epoch) return;
+    fn();
+  });
+}
+
+void Process::enqueue_work_multi(const std::vector<std::uint32_t>& cores, Time cost,
+                                 std::function<void()> fn) {
+  if (crashed_) return;
+  if (cores.size() <= 1) {
+    enqueue_work_on(cores.empty() ? 0 : cores.front(), cost, std::move(fn));
+    return;
+  }
+  if (cost < 0) cost = 0;
+  // Barrier semantics: the work starts once every involved core is free
+  // (the earlier cores sit idle at the rendezvous, exactly like P-DUR
+  // worker threads blocked on a cross-core transaction) and occupies all
+  // of them until it completes.
+  Time start = now();
+  for (std::uint32_t c : cores) start = std::max(start, core_free_at(c));
+  const Time done = start + cost;
+  for (std::uint32_t c : cores) {
+    const std::size_t i = c < cpu_free_at_.size() ? c : cpu_free_at_.size() - 1;
+    core_busy_[i] += done - std::max(now(), cpu_free_at_[i]);
+    cpu_free_at_[i] = done;
+  }
   const std::uint64_t epoch = epoch_;
   net_.simulator().schedule_at(done, [this, epoch, fn = std::move(fn)]() {
     if (crashed_ || epoch_ != epoch) return;

@@ -1,9 +1,18 @@
-// Process abstraction: a crash-stop actor with a serial CPU.
+// Process abstraction: a crash-stop actor with one or more serial CPUs.
 //
-// Each process handles one piece of work at a time on a virtual CPU.
-// Incoming messages and explicit work items queue behind the CPU, which is
-// what produces realistic queueing delay and saturation (and the convoy
-// effect the paper analyses: certification is serialized per replica).
+// Each process handles one piece of work at a time per virtual CPU core.
+// Incoming messages and explicit work items queue behind core 0 by default,
+// which is what produces realistic queueing delay and saturation (and the
+// convoy effect the paper analyses: certification is serialized per
+// replica).
+//
+// Multi-core model (P-DUR, src/pdur/): a process may own K deterministic
+// per-core serial run queues — simulated cores, not OS threads. Each core
+// is just an independent "free at" horizon in virtual time; work enqueued
+// on a core starts when that core drains, and enqueue_work_multi() models
+// a cross-core barrier (all listed cores busy from the latest free time
+// until the work completes). Scheduling is a pure function of the enqueue
+// sequence, so multi-core runs stay bit-reproducible from the seed.
 //
 // Crash-stop semantics: after crash() the process ignores messages, timers
 // and queued work. recover() (used by Paxos recovery tests) bumps an epoch
@@ -15,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/endpoint.h"
 #include "sim/network.h"
@@ -50,22 +60,52 @@ class Process : public Endpoint {
   /// timeouts and do not consume CPU.
   void set_timer(Time delay, std::function<void()> fn);
 
-  /// Queues `fn` on this process's serial CPU with the given cost. `fn`
-  /// runs when the CPU has finished all previously queued work plus
-  /// `cost` microseconds. This is the primitive behind message handling
-  /// and explicit work like certification.
-  void enqueue_work(Time cost, std::function<void()> fn);
+  /// Queues `fn` on this process's serial CPU (core 0) with the given
+  /// cost. `fn` runs when the CPU has finished all previously queued work
+  /// plus `cost` microseconds. This is the primitive behind message
+  /// handling and explicit work like certification.
+  void enqueue_work(Time cost, std::function<void()> fn) { enqueue_work_on(0, cost, std::move(fn)); }
 
-  /// Extends the CPU busy period by `cost` without scheduling a callback;
-  /// used to account for work done inline in a handler (e.g. applying a
-  /// writeset). Only work enqueued *after* the charge queues behind it —
-  /// already-enqueued work keeps its schedule.
-  void charge_cpu(Time cost) {
-    cpu_free_at_ = std::max(now(), cpu_free_at_) + (cost < 0 ? 0 : cost);
+  /// Extends the CPU (core 0) busy period by `cost` without scheduling a
+  /// callback; used to account for work done inline in a handler (e.g.
+  /// applying a writeset). Only work enqueued *after* the charge queues
+  /// behind it — already-enqueued work keeps its schedule.
+  void charge_cpu(Time cost) { charge_core(0, cost); }
+
+  /// Virtual time at which the CPU (core 0) becomes free (tests/metrics).
+  Time cpu_free_at() const { return cpu_free_at_[0]; }
+
+  // --- Multi-core run queues (P-DUR replica model, src/pdur/) -----------
+
+  /// Resizes the process to `cores` independent serial run queues. New
+  /// cores start free at the current time; shrinking discards the tail
+  /// horizons (already-scheduled callbacks still run). Core 0 always
+  /// exists and carries message handling.
+  void set_core_count(std::size_t cores);
+  std::size_t core_count() const { return cpu_free_at_.size(); }
+
+  /// Queues `fn` on one specific core (clamped to the last core).
+  void enqueue_work_on(std::size_t core, Time cost, std::function<void()> fn);
+
+  /// Cross-core barrier: every core in `cores` is busy from the latest of
+  /// their free times until `cost` later, when `fn` runs once. Models the
+  /// P-DUR vote/synchronization step for transactions spanning cores. An
+  /// empty list degenerates to core 0.
+  void enqueue_work_multi(const std::vector<std::uint32_t>& cores, Time cost,
+                          std::function<void()> fn);
+
+  /// Extends one core's busy period without scheduling a callback.
+  void charge_core(std::size_t core, Time cost);
+
+  /// Virtual time at which `core` becomes free.
+  Time core_free_at(std::size_t core) const {
+    return cpu_free_at_[core < cpu_free_at_.size() ? core : cpu_free_at_.size() - 1];
   }
 
-  /// Virtual time at which the CPU becomes free (for tests/metrics).
-  Time cpu_free_at() const { return cpu_free_at_; }
+  /// Cumulative busy time charged to `core` (utilization metrics).
+  Time core_busy_time(std::size_t core) const {
+    return core_busy_[core < core_busy_.size() ? core : core_busy_.size() - 1];
+  }
 
   // --- Endpoint interface (delegates to the methods above) ---------------
   ProcessId self() const override { return id_; }
@@ -96,7 +136,9 @@ class Process : public Endpoint {
   bool crashed_ = false;
   std::uint64_t epoch_ = 0;
   Time message_service_time_ = usec(10);
-  Time cpu_free_at_ = 0;
+  /// Per-core "free at" horizons; index 0 is the legacy serial CPU.
+  std::vector<Time> cpu_free_at_ = std::vector<Time>(1, 0);
+  std::vector<Time> core_busy_ = std::vector<Time>(1, 0);
 };
 
 }  // namespace sdur::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pdur/core_partitioner.h"
 #include "util/zipf.h"
 
 namespace sdur::workload {
@@ -39,6 +40,7 @@ class MicroSession final : public Session {
     if (cfg_.zipf_theta > 0) {
       zipf_.emplace(cfg_.items_per_partition, cfg_.zipf_theta);
     }
+    if (cfg_.cores > 1) part_.emplace(cfg_.cores);
   }
 
   void start() override { next(); }
@@ -50,6 +52,17 @@ class MicroSession final : public Session {
     return p * cfg_.items_per_partition + rank;
   }
 
+  /// Rejection-samples a key in partition p homed on core c (matching =
+  /// true) or anywhere but c (matching = false). Bounded tries keep the
+  /// session live even with degenerate core/key layouts.
+  Key key_for_core(PartitionId p, pdur::CoreId c, bool matching) {
+    for (int tries = 0; tries < 256; ++tries) {
+      const Key k = key_in(p);
+      if ((part_->core_of(k) == c) == matching) return k;
+    }
+    return key_in(p);
+  }
+
   void next() {
     if (cfg_.keep_running && !cfg_.keep_running()) return;
     client_.begin();
@@ -59,9 +72,25 @@ class MicroSession final : public Session {
     // remote item (paper: "updates one local object and one remote object").
     std::vector<Key> keys;
     const std::size_t ops = std::max<std::size_t>(cfg_.ops_per_txn, 2);
-    while (keys.size() < ops - (global ? 1 : 0)) {
-      const Key k = key_in(home_);
-      if (std::find(keys.begin(), keys.end(), k) == keys.end()) keys.push_back(k);
+    const std::size_t home_keys = ops - (global ? 1 : 0);
+    if (part_) {
+      // Core-aware key choice (P-DUR workloads): pin the transaction's
+      // home-partition keys to the first key's core, or deliberately span
+      // a second core with probability cross_core_fraction.
+      const bool cross = home_keys > 1 && rng_.chance(cfg_.cross_core_fraction);
+      const Key first = key_in(home_);
+      keys.push_back(first);
+      const pdur::CoreId c0 = part_->core_of(first);
+      while (keys.size() < home_keys) {
+        const bool off_core = cross && keys.size() == 1;
+        const Key k = key_for_core(home_, c0, !off_core);
+        if (std::find(keys.begin(), keys.end(), k) == keys.end()) keys.push_back(k);
+      }
+    } else {
+      while (keys.size() < home_keys) {
+        const Key k = key_in(home_);
+        if (std::find(keys.begin(), keys.end(), k) == keys.end()) keys.push_back(k);
+      }
     }
     if (global) {
       PartitionId other = static_cast<PartitionId>(rng_.below(partitions_ - 1));
@@ -101,6 +130,7 @@ class MicroSession final : public Session {
   PartitionId home_;
   PartitionId partitions_;
   std::optional<util::ZipfGenerator> zipf_;
+  std::optional<pdur::CorePartitioner> part_;  // set when cfg.cores > 1
 };
 
 }  // namespace

@@ -30,6 +30,17 @@ struct MicroConfig {
   /// and raising the certification abort rate (bench/ablation_contention).
   double zipf_theta = 0.0;
 
+  /// P-DUR core-affinity shaping (meaningful when the servers model
+  /// pdur.cores > 1; set to the same core count). cores > 1 makes sessions
+  /// core-aware: with probability 1 - cross_core_fraction all of a
+  /// transaction's home-partition keys are homed on one simulated core
+  /// (P-DUR's single-core fast path); otherwise the keys deliberately span
+  /// at least two cores, exercising the cross-core barrier. cores == 1
+  /// (default) leaves key choice untouched and consumes no extra
+  /// randomness — legacy runs are bit-identical.
+  std::uint32_t cores = 1;
+  double cross_core_fraction = 0.0;
+
   /// When set, written values encode the writing transaction id and every
   /// commit is reported here — used by the serializability property tests.
   std::function<void(TxId, std::vector<std::pair<Key, TxId>>, std::vector<Key>)> commit_hook;

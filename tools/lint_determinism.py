@@ -40,7 +40,7 @@ import re
 import sys
 from pathlib import Path
 
-SCAN_DIRS = ["src/sim", "src/sdur", "src/paxos", "src/storage"]
+SCAN_DIRS = ["src/sim", "src/sdur", "src/paxos", "src/storage", "src/pdur"]
 EXTENSIONS = {".h", ".cpp"}
 
 WALL_CLOCK_PATTERNS = [
