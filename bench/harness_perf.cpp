@@ -1,0 +1,231 @@
+// Wall-clock performance harness for the simulation fabric.
+//
+// Unlike the figure benches (which report *simulated* throughput/latency),
+// this harness measures how fast the host machine chews through the
+// simulation itself: events/sec and messages/sec of real time, plus the
+// fabric's host-side copy counters (sim/fabric_stats.h). It is the yard-
+// stick for fabric optimizations — every run of every other experiment in
+// this repo is bounded by these numbers.
+//
+// Two sections:
+//   fabric_storm  A broadcast storm on bare sim::Process actors: one hub
+//                 fans a payload out to every spoke each simulated tick.
+//                 Pure fan-out — isolates message copy + event-loop cost
+//                 from protocol logic.
+//   sdur_e2e      A message-heavy SDUR deployment (2 partitions, wide
+//                 writesets, 30% globals) driven by closed-loop clients.
+//                 The realistic mix: Paxos broadcast, vote fan-out,
+//                 certification, timers.
+//
+// Results are printed and written to BENCH_harness_perf.json via the
+// shared reporter. `--smoke` runs a seconds-scale version for CTest.
+//
+// Determinism note: all *simulated* results remain a pure function of the
+// seed; only the wall-clock figures vary between hosts/runs.
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+
+#include "common.h"
+#include "sim/fabric_stats.h"
+
+namespace sdur::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct FabricMetrics {
+  const char* section;
+  double wall_sec = 0;
+  std::uint64_t events = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  sim::FabricCounters counters;
+};
+
+void report_metrics(const FabricMetrics& m) {
+  const double events_per_sec = static_cast<double>(m.events) / m.wall_sec;
+  const double msgs_per_sec = static_cast<double>(m.messages_sent) / m.wall_sec;
+  std::printf(
+      "  %-12s wall=%6.2fs  events=%10" PRIu64 " (%10.0f/s)  msgs=%9" PRIu64
+      " (%9.0f/s)\n"
+      "  %-12s payload deep-copies=%" PRIu64 " (%.1f MB)  shares=%" PRIu64
+      "  fn inline=%" PRIu64 "  fn heap=%" PRIu64 "\n",
+      m.section, m.wall_sec, m.events, events_per_sec, m.messages_sent, msgs_per_sec, "",
+      m.counters.payload_deep_copies,
+      static_cast<double>(m.counters.payload_bytes_copied) / 1e6, m.counters.payload_shares,
+      m.counters.fn_inline, m.counters.fn_heap_allocs);
+  if (auto* rep = report()) {
+    rep->row()
+        .str("section", m.section)
+        .num("wall_sec", m.wall_sec)
+        .num("events", static_cast<double>(m.events))
+        .num("events_per_sec", events_per_sec)
+        .num("messages_sent", static_cast<double>(m.messages_sent))
+        .num("messages_per_sec", msgs_per_sec)
+        .num("bytes_sent", static_cast<double>(m.bytes_sent))
+        .num("payload_deep_copies", static_cast<double>(m.counters.payload_deep_copies))
+        .num("payload_bytes_copied", static_cast<double>(m.counters.payload_bytes_copied))
+        .num("payload_shares", static_cast<double>(m.counters.payload_shares))
+        .num("fn_inline", static_cast<double>(m.counters.fn_inline))
+        .num("fn_heap_allocs", static_cast<double>(m.counters.fn_heap_allocs));
+  }
+}
+
+// --- Section 1: broadcast storm on bare processes ----------------------------
+
+/// Counts received bytes; the hub below fans out to these.
+class Spoke : public sim::Process {
+ public:
+  Spoke(sim::Network& net, sim::ProcessId id, sim::Location loc)
+      : Process(net, id, "spoke", loc) {}
+  std::uint64_t received = 0;
+
+ protected:
+  void on_message(const sim::Message& m, sim::ProcessId) override {
+    received += m.payload.size();
+  }
+};
+
+/// Broadcasts one payload to every spoke per tick — the same encode-once /
+/// send-n-times shape as PaxosEngine::broadcast and vote fan-out.
+class Hub : public sim::Process {
+ public:
+  Hub(sim::Network& net, sim::ProcessId id, sim::Location loc,
+      std::vector<sim::ProcessId> peers, std::size_t payload_size, sim::Time period,
+      sim::Time horizon)
+      : Process(net, id, "hub", loc),
+        peers_(std::move(peers)),
+        payload_size_(payload_size),
+        period_(period),
+        horizon_(horizon) {}
+
+  void start() { tick(); }
+
+ protected:
+  void on_message(const sim::Message&, sim::ProcessId) override {}
+
+ private:
+  void tick() {
+    util::Writer w(payload_size_);
+    for (std::size_t i = 0; i < payload_size_; ++i) {
+      w.u8(static_cast<std::uint8_t>(i ^ static_cast<std::size_t>(ticks_)));
+    }
+    const sim::Message m{60, std::move(w)};
+    for (sim::ProcessId p : peers_) send(p, m);
+    ++ticks_;
+    if (now() < horizon_) set_timer(period_, [this] { tick(); });
+  }
+
+  std::vector<sim::ProcessId> peers_;
+  std::size_t payload_size_;
+  sim::Time period_;
+  sim::Time horizon_;
+  std::uint64_t ticks_ = 0;
+};
+
+FabricMetrics run_storm(std::uint32_t spokes, std::size_t payload_size, sim::Time horizon) {
+  sim::Simulator sim;
+  sim::Topology topo = sim::Topology::ec2_three_regions();
+  topo.set_jitter(0.05);
+  sim::Network net(sim, topo, /*seed=*/11);
+
+  std::vector<std::unique_ptr<Spoke>> procs;
+  std::vector<sim::ProcessId> ids;
+  for (std::uint32_t i = 0; i < spokes; ++i) {
+    const sim::ProcessId pid = 2 + i;
+    procs.push_back(std::make_unique<Spoke>(
+        net, pid, sim::Location{sim::kEU, static_cast<std::uint16_t>(i % 3)}));
+    ids.push_back(pid);
+  }
+  Hub hub(net, 1, sim::Location{sim::kEU, 0}, ids, payload_size, sim::usec(100), horizon);
+
+  sim::fabric_counters().reset();
+  const auto t0 = Clock::now();
+  hub.start();
+  sim.run();
+  FabricMetrics m;
+  m.section = "fabric_storm";
+  m.wall_sec = seconds_since(t0);
+  m.events = sim.events_processed();
+  m.messages_sent = net.stats().messages_sent;
+  m.messages_delivered = net.stats().messages_delivered;
+  m.bytes_sent = net.stats().bytes_sent;
+  m.counters = sim::fabric_counters();
+  return m;
+}
+
+// --- Section 2: message-heavy SDUR deployment --------------------------------
+
+FabricMetrics run_e2e(std::uint32_t clients, sim::Time measure) {
+  MicroSetup s;
+  s.kind = DeploymentSpec::Kind::kLan;  // dense event stream, high msg rate
+  s.partitions = 2;
+  s.global_fraction = 0.3;  // vote fan-out between partitions
+  s.items_per_partition = 20'000;
+  s.seed = 5;
+
+  MicroConfig mc;
+  mc.items_per_partition = s.items_per_partition;
+  mc.global_fraction = s.global_fraction;
+  mc.value_size = 256;  // wide writesets: payload cost matters
+  mc.ops_per_txn = 8;
+  MicroWorkload wl(mc);
+  auto dep = make_micro_deployment(s);
+
+  workload::RunConfig cfg;
+  cfg.clients = clients;
+  cfg.seed = 5;
+  cfg.settle = sim::msec(1200);
+  cfg.warmup = sim::msec(500);
+  cfg.measure = measure;
+
+  sim::fabric_counters().reset();
+  const auto t0 = Clock::now();
+  const RunResult r = workload::run_experiment(*dep, wl, cfg);
+  FabricMetrics m;
+  m.section = "sdur_e2e";
+  m.wall_sec = seconds_since(t0);
+  m.events = dep->simulator().events_processed();
+  m.messages_sent = dep->network().stats().messages_sent;
+  m.messages_delivered = dep->network().stats().messages_delivered;
+  m.bytes_sent = dep->network().stats().bytes_sent;
+  m.counters = sim::fabric_counters();
+  std::printf("  %-12s sim tput=%.0f tps (sanity: committed work was done)\n", "",
+              r.throughput());
+  if (auto* rep = report()) rep->row().str("section", "sdur_e2e_sim").num("tput_tps", r.throughput());
+  return m;
+}
+
+}  // namespace
+}  // namespace sdur::bench
+
+int main(int argc, char** argv) {
+  using namespace sdur::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  auto& rep = report_open("harness_perf");
+  (void)rep;
+
+  // Plain banner, not print_header(): the rows here carry their own
+  // "section" key and must not inherit the report-wide one too.
+  std::printf("\n==== Fabric wall-clock harness (host performance, not simulated) ====\n");
+  {
+    // 16-way fan-out, 1 KB payloads, one broadcast per 100 simulated us.
+    const sdur::sim::Time horizon = smoke ? sdur::sim::msec(200) : sdur::sim::sec(4);
+    report_metrics(run_storm(/*spokes=*/16, /*payload_size=*/1024, horizon));
+  }
+  {
+    const sdur::sim::Time measure = smoke ? sdur::sim::msec(300) : sdur::sim::sec(4);
+    const std::uint32_t clients = smoke ? 16 : 96;
+    report_metrics(run_e2e(clients, measure));
+  }
+  return 0;
+}

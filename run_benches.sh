@@ -22,4 +22,35 @@ for b in /root/repo/build/bench/*; do
   echo "[wall $((SECONDS-start))s]" >> "$out"
   echo >> "$out"
 done
+# Fold this run's BENCH_*.json into bench_json/TRAJECTORY.json, keyed by
+# commit SHA, so perf numbers accumulate across PRs into one time series.
+python3 - "$json_dir" <<'PY' >> "$out" 2>&1
+import json, pathlib, subprocess, sys
+
+json_dir = pathlib.Path(sys.argv[1])
+try:
+    sha = subprocess.run(["git", "-C", "/root/repo", "rev-parse", "HEAD"],
+                         capture_output=True, text=True, check=True).stdout.strip()
+except Exception:
+    sha = "unknown"
+
+traj_path = json_dir / "TRAJECTORY.json"
+trajectory = {}
+if traj_path.exists():
+    try:
+        trajectory = json.loads(traj_path.read_text())
+    except json.JSONDecodeError:
+        print(f"TRAJECTORY.json unreadable; starting fresh")
+
+entry = {}
+for f in sorted(json_dir.glob("BENCH_*.json")):
+    try:
+        entry[f.stem.removeprefix("BENCH_")] = json.loads(f.read_text())
+    except json.JSONDecodeError as e:
+        print(f"skipping {f.name}: {e}")
+
+trajectory[sha] = entry
+traj_path.write_text(json.dumps(trajectory, indent=1, sort_keys=True) + "\n")
+print(f"TRAJECTORY.json: {len(entry)} bench report(s) recorded under {sha[:12]}")
+PY
 echo "ALL-BENCHES-DONE" >> "$out"

@@ -1,5 +1,7 @@
 #include "paxos/durable_log.h"
 
+#include <utility>
+
 namespace sdur::paxos {
 
 void InMemoryDurableLog::save_promise(Ballot b) {
@@ -7,8 +9,8 @@ void InMemoryDurableLog::save_promise(Ballot b) {
   ++writes_;
 }
 
-void InMemoryDurableLog::save_accepted(InstanceId inst, Ballot b, const Value& v) {
-  accepted_[inst] = LogRecord{b, v};
+void InMemoryDurableLog::save_accepted(InstanceId inst, Ballot b, Value v) {
+  accepted_[inst] = LogRecord{b, std::move(v)};
   ++writes_;
 }
 
@@ -18,8 +20,8 @@ std::optional<LogRecord> InMemoryDurableLog::load_accepted(InstanceId inst) cons
   return it->second;
 }
 
-void InMemoryDurableLog::save_decided(InstanceId inst, const Value& v) {
-  decided_[inst] = v;
+void InMemoryDurableLog::save_decided(InstanceId inst, Value v) {
+  decided_[inst] = std::move(v);
   ++writes_;
 }
 

@@ -33,12 +33,14 @@ class DurableLog {
   virtual Ballot load_promise() const = 0;
 
   /// Persists an accepted value for an instance (overwrites lower ballots).
-  virtual void save_accepted(InstanceId inst, Ballot b, const Value& v) = 0;
+  /// Takes the value by value so callers that are done with the buffer can
+  /// move it into the log instead of copying.
+  virtual void save_accepted(InstanceId inst, Ballot b, Value v) = 0;
   virtual std::optional<LogRecord> load_accepted(InstanceId inst) const = 0;
 
   /// Marks an instance decided (learner checkpoint used for catchup after
   /// recovery).
-  virtual void save_decided(InstanceId inst, const Value& v) = 0;
+  virtual void save_decided(InstanceId inst, Value v) = 0;
   virtual std::optional<Value> load_decided(InstanceId inst) const = 0;
   virtual InstanceId decided_prefix() const = 0;
 
@@ -67,10 +69,10 @@ class InMemoryDurableLog final : public DurableLog {
   void save_promise(Ballot b) override;
   Ballot load_promise() const override { return promise_; }
 
-  void save_accepted(InstanceId inst, Ballot b, const Value& v) override;
+  void save_accepted(InstanceId inst, Ballot b, Value v) override;
   std::optional<LogRecord> load_accepted(InstanceId inst) const override;
 
-  void save_decided(InstanceId inst, const Value& v) override;
+  void save_decided(InstanceId inst, Value v) override;
   std::optional<Value> load_decided(InstanceId inst) const override;
   InstanceId decided_prefix() const override;
 

@@ -180,7 +180,9 @@ void PaxosEngine::become_leader() {
   for (InstanceId inst = next_deliver_; any && inst <= max_inst; ++inst) {
     auto it = best.find(inst);
     Value v = it != best.end() ? it->second.value : encode_batch({});
-    open_instance(inst, std::move(v));
+    std::vector<std::uint64_t> hashes;
+    for (const Value& x : *decoded_batch(v)) hashes.push_back(value_hash(x));
+    open_instance(inst, std::move(v), std::move(hashes));
   }
   // If the quorum's decided prefix is ahead of ours (we recovered from far
   // behind and the others checkpointed away the log we missed), pull the
@@ -269,12 +271,25 @@ bool PaxosEngine::value_in_flight(std::uint64_t hash) const {
   for (const Value& v : pending_) {
     if (value_hash(v) == hash) return true;
   }
+  // Open instances carry their item hashes (computed once at open time),
+  // so this scan never re-decodes a batch.
   for (const auto& [inst, oi] : open_) {
-    for (const Value& v : decode_batch(oi.value)) {
-      if (value_hash(v) == hash) return true;
+    for (std::uint64_t h : oi.item_hashes) {
+      if (h == hash) return true;
     }
   }
   return false;
+}
+
+std::shared_ptr<const std::vector<Value>> PaxosEngine::decoded_batch(const Value& batch) {
+  if (decode_cache_vals_ && decode_cache_key_ == batch) {
+    ++stats_.decode_cache_hits;
+    return decode_cache_vals_;
+  }
+  ++stats_.decode_cache_misses;
+  decode_cache_key_ = batch;
+  decode_cache_vals_ = std::make_shared<const std::vector<Value>>(decode_batch(batch));
+  return decode_cache_vals_;
 }
 
 void PaxosEngine::on_forward(Forward m, ProcessId from) {
@@ -299,17 +314,23 @@ void PaxosEngine::maybe_propose() {
       batch.push_back(std::move(pending_.front()));
       pending_.pop_front();
     }
-    open_instance(next_instance_++, encode_batch(batch));
+    // Hash the items while they are still in plain form — cheaper than
+    // decoding the encoded batch back apart in open_instance.
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(batch.size());
+    for (const Value& v : batch) hashes.push_back(value_hash(v));
+    open_instance(next_instance_++, encode_batch(batch), std::move(hashes));
   }
 }
 
-void PaxosEngine::open_instance(InstanceId inst, Value value) {
-  open_[inst] = OpenInstance{value, ep_.current_time()};
+void PaxosEngine::open_instance(InstanceId inst, Value value,
+                                std::vector<std::uint64_t> item_hashes) {
+  open_[inst] = OpenInstance{value, ep_.current_time(), std::move(item_hashes)};
   ++stats_.proposed_batches;
   broadcast(Phase2A{promised_, inst, std::move(value)}.to_message());
 }
 
-void PaxosEngine::on_phase2a(const Phase2A& m, ProcessId from) {
+void PaxosEngine::on_phase2a(Phase2A m, ProcessId from) {
   highest_seen_ = std::max(highest_seen_, m.ballot);
   if (m.ballot < promised_ && !test_accept_stale_ballots_) {
     ep_.send_message(from, Nack{promised_}.to_message());
@@ -340,7 +361,7 @@ void PaxosEngine::on_phase2a(const Phase2A& m, ProcessId from) {
     on_catchup_req(CatchupReq{m.instance}, from);
     return;
   }
-  log_->save_accepted(m.instance, m.ballot, m.value);
+  log_->save_accepted(m.instance, m.ballot, std::move(m.value));
   // Persist-before-ack, then let every member learn.
   const Phase2B ack{m.ballot, m.instance, cfg_.self_index};
   ep_.start_timer(cfg_.log_write_latency,
@@ -361,8 +382,7 @@ void PaxosEngine::record_ack(InstanceId inst, Ballot b, std::uint32_t acceptor_i
     // bring the decision later.
     auto rec = log_->load_accepted(inst);
     if (rec && rec->ballot == st.ballot) {
-      Value v = rec->value;
-      decide(inst, std::move(v));
+      decide(inst, std::move(rec->value));
     }
   }
 }
@@ -404,7 +424,10 @@ void PaxosEngine::try_deliver() {
   while (true) {
     auto it = undelivered_.find(next_deliver_);
     if (it == undelivered_.end()) break;
-    for (const Value& v : decode_batch(it->second)) {
+    // Hold the decoded batch by shared_ptr: a deliver_ callback can reenter
+    // the engine and rotate the cache, which must not invalidate this loop.
+    const auto batch = decoded_batch(it->second);
+    for (const Value& v : *batch) {
       ++stats_.delivered_values;
       auto sub = submitted_.find(value_hash(v));
       if (sub != submitted_.end() && --sub->second.count == 0) submitted_.erase(sub);
@@ -515,6 +538,8 @@ void PaxosEngine::on_recover() {
   undelivered_.clear();
   submitted_.clear();
   behind_heartbeats_ = 0;
+  decode_cache_key_.clear();
+  decode_cache_vals_.reset();
   promised_ = log_->load_promise();
   highest_seen_ = promised_;
   leader_hint_ = 0;

@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "paxos/durable_log.h"
 #include "paxos/messages.h"
@@ -102,6 +103,8 @@ class PaxosEngine {
     std::uint64_t checkpoints = 0;
     std::uint64_t state_transfers_sent = 0;
     std::uint64_t state_transfers_installed = 0;
+    std::uint64_t decode_cache_hits = 0;
+    std::uint64_t decode_cache_misses = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -111,7 +114,7 @@ class PaxosEngine {
   // Message handlers.
   void on_phase1a(const Phase1A& m, ProcessId from);
   void on_phase1b(const Phase1B& m, ProcessId from);
-  void on_phase2a(const Phase2A& m, ProcessId from);
+  void on_phase2a(Phase2A m, ProcessId from);
   void on_phase2b(const Phase2B& m, ProcessId from);
   void on_nack(const Nack& m);
   void on_heartbeat(const Heartbeat& m, ProcessId from);
@@ -124,7 +127,7 @@ class PaxosEngine {
   void become_leader();
   void step_down(Ballot seen);
   void maybe_propose();
-  void open_instance(InstanceId inst, Value value);
+  void open_instance(InstanceId inst, Value value, std::vector<std::uint64_t> item_hashes);
   void record_ack(InstanceId inst, Ballot b, std::uint32_t acceptor_index);
   void decide(InstanceId inst, Value value);
   void try_deliver();
@@ -133,6 +136,13 @@ class PaxosEngine {
   bool value_in_flight(std::uint64_t hash) const;
   std::uint32_t member_index(ProcessId pid) const;
   Time election_deadline() const;
+
+  /// Decode-once batch cache. A batch value is parsed many times on the
+  /// hot path (delivery, leader re-proposal hashing); this memoizes the
+  /// last decode keyed by the exact batch bytes. Returns a shared_ptr so
+  /// callers stay valid even if a reentrant call (deliver_ callback
+  /// scheduling more work) replaces the cache entry mid-iteration.
+  std::shared_ptr<const std::vector<Value>> decoded_batch(const Value& batch);
 
   sim::Endpoint& ep_;
   GroupConfig cfg_;
@@ -163,6 +173,9 @@ class PaxosEngine {
   struct OpenInstance {
     Value value;
     Time proposed_at = 0;
+    /// Hash of each value in the batch, computed once at open time so
+    /// value_in_flight() never has to re-decode the batch.
+    std::vector<std::uint64_t> item_hashes;
   };
   InstanceId next_instance_ = 0;
   std::map<InstanceId, OpenInstance> open_;
@@ -184,6 +197,14 @@ class PaxosEngine {
   std::uint32_t behind_heartbeats_ = 0;
 
   std::unordered_map<ProcessId, std::uint32_t> index_of_;
+
+  // Single-entry decode cache (see decoded_batch()). Batches deliver in
+  // instance order, so one entry captures the common decode-again pattern
+  // (leader: open-time hashing then delivery; every replica: repeated
+  // decides of the same bytes after catchup/resend overlap).
+  Value decode_cache_key_;
+  std::shared_ptr<const std::vector<Value>> decode_cache_vals_;
+
   Stats stats_;
   bool started_ = false;
   bool test_accept_stale_ballots_ = false;

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "pdur/config.h"
@@ -34,7 +33,7 @@ class Executor {
   /// homed on `cores`; `done` runs (epoch/crash-guarded) when every
   /// involved core has finished. Cross-core transactions additionally pay
   /// cfg.cross_core_sync_cost under barrier semantics.
-  void run(const std::vector<CoreId>& cores, sim::Time work_cost, std::function<void()> done) {
+  void run(const std::vector<CoreId>& cores, sim::Time work_cost, sim::UniqueFn done) {
     if (cores.size() > 1) {
       ++cross_core_;
       proc_.enqueue_work_multi(cores, work_cost + cfg_.cross_core_sync_cost, std::move(done));
@@ -45,7 +44,7 @@ class Executor {
   }
 
   /// Schedules a read on the owning core of `key`.
-  void run_read(std::uint64_t key, std::function<void()> done) {
+  void run_read(std::uint64_t key, sim::UniqueFn done) {
     proc_.enqueue_work_on(part_.core_of(key), cfg_.read_cost, std::move(done));
   }
 

@@ -6,8 +6,7 @@
 // Process implements it.
 #pragma once
 
-#include <functional>
-
+#include "sim/callable.h"
 #include "sim/message.h"
 #include "sim/time.h"
 #include "sim/topology.h"
@@ -28,10 +27,10 @@ class Endpoint {
   virtual void send_message(ProcessId to, Message m) = 0;
 
   /// One-shot timer; skipped if the host process crashes first.
-  virtual void start_timer(Time delay, std::function<void()> fn) = 0;
+  virtual void start_timer(Time delay, UniqueFn fn) = 0;
 
   /// Queues work on the host's serial CPU with the given cost.
-  virtual void queue_work(Time cost, std::function<void()> fn) = 0;
+  virtual void queue_work(Time cost, UniqueFn fn) = 0;
 };
 
 }  // namespace sdur::sim

@@ -17,22 +17,27 @@ Network::Network(Simulator& sim, Topology topology, std::uint64_t seed)
 }
 
 void Network::attach(Process* p, Location loc) {
-  processes_[p->id()] = p;
-  topology_.place(p->id(), loc);
+  const ProcessId pid = p->id();
+  if (pid >= processes_.size()) processes_.resize(pid + 1, nullptr);
+  processes_[pid] = p;
+  topology_.place(pid, loc);
 }
 
-void Network::detach(ProcessId pid) { processes_.erase(pid); }
+void Network::detach(ProcessId pid) {
+  if (pid < processes_.size()) processes_[pid] = nullptr;
+}
 
 Process* Network::process(ProcessId pid) const {
-  auto it = processes_.find(pid);
-  return it == processes_.end() ? nullptr : it->second;
+  return pid < processes_.size() ? processes_[pid] : nullptr;
 }
 
 std::vector<ProcessId> Network::process_ids() const {
+  // Ascending by construction (pid-indexed table); callers iterate and the
+  // order must be stable.
   std::vector<ProcessId> ids;
-  ids.reserve(processes_.size());
-  for (const auto& [pid, p] : processes_) ids.push_back(pid);
-  std::sort(ids.begin(), ids.end());  // callers iterate; order must be stable
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    if (processes_[pid] != nullptr) ids.push_back(pid);
+  }
   return ids;
 }
 
@@ -52,10 +57,16 @@ void Network::heal_all() {
 }
 
 void Network::partition(const std::vector<ProcessId>& group) {
-  std::unordered_set<ProcessId> in_group(group.begin(), group.end());
-  for (const auto& [a, pa] : processes_) {
-    for (const auto& [b, pb] : processes_) {
-      if (a < b && in_group.contains(a) != in_group.contains(b)) block_link(a, b);
+  // Each unordered pair exactly once (i < j over the sorted id list); block
+  // the link iff the pair straddles the group boundary. The old version
+  // walked the full n x n product of the process map to enumerate the same
+  // pairs.
+  const std::unordered_set<ProcessId> in_group(group.begin(), group.end());
+  const std::vector<ProcessId> ids = process_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const bool a_in = in_group.contains(ids[i]);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (a_in != in_group.contains(ids[j])) block_link(ids[i], ids[j]);
     }
   }
 }
@@ -66,9 +77,16 @@ void Network::send(ProcessId from, ProcessId to, Message m) {
   ++stats_.per_type_count[m.type];
   stats_.per_type_bytes[m.type] += m.wire_size();
 
-  const bool dropped = isolated_.contains(from) || isolated_.contains(to) ||
-                       blocked_links_.contains(link_key(from, to)) ||
-                       (loss_rate_ > 0 && rng_.chance(loss_rate_));
+  // RNG discipline (determinism contract, pinned by a digest test): the
+  // loss die is rolled only when loss is enabled, and the delay jitter is
+  // drawn only for messages that survive the drop checks. Dropped messages
+  // must consume no jitter draw, or every later delay in the run would
+  // shift. (The empty() guards skip hash probes on the fault-free path;
+  // they cannot change which dice are rolled.)
+  const bool dropped =
+      (!isolated_.empty() && (isolated_.contains(from) || isolated_.contains(to))) ||
+      (!blocked_links_.empty() && blocked_links_.contains(link_key(from, to))) ||
+      (loss_rate_ > 0 && rng_.chance(loss_rate_));
   if (dropped) {
     ++stats_.messages_dropped;
     return;
@@ -76,13 +94,13 @@ void Network::send(ProcessId from, ProcessId to, Message m) {
 
   const Time delay = topology_.delay(from, to, rng_);
   sim_.schedule_after(delay, [this, from, to, m = std::move(m)]() mutable {
-    auto it = processes_.find(to);
-    if (it == processes_.end() || it->second->crashed()) {
+    Process* p = process(to);
+    if (p == nullptr || p->crashed()) {
       ++stats_.messages_dropped;
       return;
     }
     ++stats_.messages_delivered;
-    it->second->incoming(std::move(m), from);
+    p->incoming(std::move(m), from);
   });
 }
 

@@ -7,8 +7,8 @@
 // stay safe under all of them).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -21,13 +21,35 @@ namespace sdur::sim {
 
 class Process;
 
+/// Per-message-type counters as a flat fixed array. Message tags live in
+/// 0–99 (sim/message.h); indexing replaces the hash-map lookups that used
+/// to sit on the per-send hot path. Out-of-range tags share the last
+/// bucket rather than growing storage.
+class PerTypeCounters {
+ public:
+  static constexpr std::size_t kBuckets = 128;
+
+  std::uint64_t& operator[](MsgType t) { return v_[index(t)]; }
+  std::uint64_t at(MsgType t) const { return v_[index(t)]; }
+
+  bool operator==(const PerTypeCounters&) const = default;
+
+ private:
+  static std::size_t index(MsgType t) {
+    return t < kBuckets ? t : kBuckets - 1;
+  }
+  std::array<std::uint64_t, kBuckets> v_{};
+};
+
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
-  std::unordered_map<MsgType, std::uint64_t> per_type_count;
-  std::unordered_map<MsgType, std::uint64_t> per_type_bytes;
+  PerTypeCounters per_type_count;
+  PerTypeCounters per_type_bytes;
+
+  bool operator==(const NetworkStats&) const = default;
 };
 
 class Network {
@@ -79,7 +101,9 @@ class Network {
   Topology topology_;
   util::Rng rng_;
   double loss_rate_ = 0.0;
-  std::unordered_map<ProcessId, Process*> processes_;
+  /// Indexed by pid (ids are small and dense; this lookup sits on the
+  /// per-delivery hot path). nullptr = not attached.
+  std::vector<Process*> processes_;
   std::unordered_set<std::uint64_t> blocked_links_;
   std::unordered_set<ProcessId> isolated_;
   NetworkStats stats_;

@@ -34,13 +34,13 @@ void Process::send(ProcessId to, Message m) {
   net_.send(id_, to, std::move(m));
 }
 
-void Process::set_timer(Time delay, std::function<void()> fn) {
+void Process::set_timer(Time delay, UniqueFn fn) {
   if (crashed_) return;
-  const std::uint64_t epoch = epoch_;
-  net_.simulator().schedule_after(delay, [this, epoch, fn = std::move(fn)]() {
-    if (crashed_ || epoch_ != epoch) return;
-    fn();
-  });
+  // Epoch guard without a wrapper closure: crash() and recover() both bump
+  // epoch_, so anything scheduled before either is skipped at fire time.
+  // (Nothing schedules while crashed — every entry point returns early —
+  // so the epoch check alone is the complete crash-stop guard.)
+  net_.simulator().schedule_after(delay, std::move(fn), &epoch_, epoch_);
 }
 
 void Process::set_core_count(std::size_t cores) {
@@ -56,23 +56,23 @@ void Process::charge_core(std::size_t core, Time cost) {
   core_busy_[core] += cost;
 }
 
-void Process::enqueue_work_on(std::size_t core, Time cost, std::function<void()> fn) {
-  if (crashed_) return;
+Time Process::reserve_core(std::size_t core, Time cost) {
   if (core >= cpu_free_at_.size()) core = cpu_free_at_.size() - 1;
   if (cost < 0) cost = 0;
-  const Time start = std::max(now(), cpu_free_at_[core]);
-  const Time done = start + cost;
+  const Time done = std::max(now(), cpu_free_at_[core]) + cost;
   cpu_free_at_[core] = done;
   core_busy_[core] += cost;
-  const std::uint64_t epoch = epoch_;
-  net_.simulator().schedule_at(done, [this, epoch, fn = std::move(fn)]() {
-    if (crashed_ || epoch_ != epoch) return;
-    fn();
-  });
+  return done;
+}
+
+void Process::enqueue_work_on(std::size_t core, Time cost, UniqueFn fn) {
+  if (crashed_) return;
+  const Time done = reserve_core(core, cost);
+  net_.simulator().schedule_at(done, std::move(fn), &epoch_, epoch_);
 }
 
 void Process::enqueue_work_multi(const std::vector<std::uint32_t>& cores, Time cost,
-                                 std::function<void()> fn) {
+                                 UniqueFn fn) {
   if (crashed_) return;
   if (cores.size() <= 1) {
     enqueue_work_on(cores.empty() ? 0 : cores.front(), cost, std::move(fn));
@@ -91,17 +91,17 @@ void Process::enqueue_work_multi(const std::vector<std::uint32_t>& cores, Time c
     core_busy_[i] += done - std::max(now(), cpu_free_at_[i]);
     cpu_free_at_[i] = done;
   }
-  const std::uint64_t epoch = epoch_;
-  net_.simulator().schedule_at(done, [this, epoch, fn = std::move(fn)]() {
-    if (crashed_ || epoch_ != epoch) return;
-    fn();
-  });
+  net_.simulator().schedule_at(done, std::move(fn), &epoch_, epoch_);
 }
 
 void Process::incoming(Message m, ProcessId from) {
   if (crashed_) return;
-  enqueue_work(message_service_time_,
-               [this, from, m = std::move(m)]() { on_message(m, from); });
+  // Hottest event in the fabric: schedule the handler directly (epoch-
+  // guarded, core accounting identical to enqueue_work). The closure fits
+  // UniqueFn's inline buffer, so delivering a message allocates nothing.
+  const Time done = reserve_core(0, message_service_time_);
+  net_.simulator().schedule_at(
+      done, [this, from, m = std::move(m)]() { on_message(m, from); }, &epoch_, epoch_);
 }
 
 }  // namespace sdur::sim

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,13 +57,13 @@ class Process : public Endpoint {
   /// One-shot timer. The callback is skipped if the process has crashed or
   /// recovered (epoch change) by the time it fires. Timers model protocol
   /// timeouts and do not consume CPU.
-  void set_timer(Time delay, std::function<void()> fn);
+  void set_timer(Time delay, UniqueFn fn);
 
   /// Queues `fn` on this process's serial CPU (core 0) with the given
   /// cost. `fn` runs when the CPU has finished all previously queued work
   /// plus `cost` microseconds. This is the primitive behind message
   /// handling and explicit work like certification.
-  void enqueue_work(Time cost, std::function<void()> fn) { enqueue_work_on(0, cost, std::move(fn)); }
+  void enqueue_work(Time cost, UniqueFn fn) { enqueue_work_on(0, cost, std::move(fn)); }
 
   /// Extends the CPU (core 0) busy period by `cost` without scheduling a
   /// callback; used to account for work done inline in a handler (e.g.
@@ -85,14 +84,13 @@ class Process : public Endpoint {
   std::size_t core_count() const { return cpu_free_at_.size(); }
 
   /// Queues `fn` on one specific core (clamped to the last core).
-  void enqueue_work_on(std::size_t core, Time cost, std::function<void()> fn);
+  void enqueue_work_on(std::size_t core, Time cost, UniqueFn fn);
 
   /// Cross-core barrier: every core in `cores` is busy from the latest of
   /// their free times until `cost` later, when `fn` runs once. Models the
   /// P-DUR vote/synchronization step for transactions spanning cores. An
   /// empty list degenerates to core 0.
-  void enqueue_work_multi(const std::vector<std::uint32_t>& cores, Time cost,
-                          std::function<void()> fn);
+  void enqueue_work_multi(const std::vector<std::uint32_t>& cores, Time cost, UniqueFn fn);
 
   /// Extends one core's busy period without scheduling a callback.
   void charge_core(std::size_t core, Time cost);
@@ -111,12 +109,8 @@ class Process : public Endpoint {
   ProcessId self() const override { return id_; }
   Time current_time() const override { return now(); }
   void send_message(ProcessId to, Message m) override { send(to, std::move(m)); }
-  void start_timer(Time delay, std::function<void()> fn) override {
-    set_timer(delay, std::move(fn));
-  }
-  void queue_work(Time cost, std::function<void()> fn) override {
-    enqueue_work(cost, std::move(fn));
-  }
+  void start_timer(Time delay, UniqueFn fn) override { set_timer(delay, std::move(fn)); }
+  void queue_work(Time cost, UniqueFn fn) override { enqueue_work(cost, std::move(fn)); }
 
  protected:
   /// Message handler; runs on the process CPU.
@@ -129,6 +123,11 @@ class Process : public Endpoint {
   friend class Network;
   /// Entry point used by the network at delivery time.
   void incoming(Message m, ProcessId from);
+
+  /// Reserves `cost` on `core` (clamped) starting when it next drains;
+  /// returns the completion time. Shared accounting for enqueue_work_on
+  /// and the direct-scheduled message path.
+  Time reserve_core(std::size_t core, Time cost);
 
   Network& net_;
   ProcessId id_;

@@ -1,12 +1,28 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace sdur::sim {
 
-void Simulator::schedule_at(Time t, std::function<void()> fn) {
+void Simulator::schedule_at(Time t, UniqueFn fn, const std::uint64_t* guard,
+                            std::uint64_t expected) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{std::move(fn), guard, expected});
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.guard = guard;
+    s.expected = expected;
+  }
+  queue_.push_back(Event{t, next_seq_++, slot});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool Simulator::step() {
@@ -14,14 +30,19 @@ bool Simulator::step() {
   if (event_budget_ != 0 && events_processed_ >= event_budget_) {
     throw std::runtime_error("simulator event budget exhausted");
   }
-  // priority_queue::top is const; move out via const_cast is UB-adjacent,
-  // so copy the closure handle (shared state is cheap: std::function with
-  // small captures, and correctness never depends on identity).
-  Event ev = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  const Event ev = queue_.back();
+  queue_.pop_back();
   now_ = ev.time;
   ++events_processed_;
-  ev.fn();
+  // Move the callable out and recycle the slot *before* invoking: the
+  // closure may schedule new events that reuse it.
+  Slot& s = slots_[ev.slot];
+  UniqueFn fn = std::move(s.fn);
+  const bool runnable = s.guard == nullptr || *s.guard == s.expected;
+  s.guard = nullptr;
+  free_slots_.push_back(ev.slot);
+  if (runnable) fn();
   return true;
 }
 
@@ -31,7 +52,7 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time t) {
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+  while (!stopped_ && !queue_.empty() && queue_.front().time <= t) {
     step();
   }
   if (!stopped_ && now_ < t) now_ = t;

@@ -4,31 +4,57 @@
 // insertion order, so runs are fully deterministic given a seed. The
 // simulator knows nothing about processes or networks; those layers
 // schedule closures on it.
+//
+// Hot-path design (see DESIGN.md "Simulation fabric hot path"):
+//  - Events hold a move-only UniqueFn (sim/callable.h), so the common
+//    closures live inline with no allocation.
+//  - Callables live in a slab indexed by the heap nodes. Heap nodes are
+//    24-byte PODs, so push/pop sifts are plain memmoves instead of calling
+//    each closure's relocator O(log n) times per event.
+//  - An event may carry a *guard*: a pointer to a u64 cell and the value it
+//    must still hold at fire time. This is how Process implements its
+//    crash/recover epoch check without wrapping the callable in a second
+//    closure (the nested form exceeds any fixed inline buffer by
+//    construction, forcing one heap allocation per scheduled event). A
+//    guarded event that fails its check is popped and counted but its
+//    closure does not run — exactly what the wrapper used to do.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callable.h"
 #include "sim/time.h"
 
 namespace sdur::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() {
+    queue_.reserve(kHeapSlab);
+    slots_.reserve(kHeapSlab);
+    free_slots_.reserve(kHeapSlab);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `t` (clamped to now()).
-  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_at(Time t, UniqueFn fn) { schedule_at(t, std::move(fn), nullptr, 0); }
+
+  /// Guarded variant: `fn` runs only if `*guard == expected` when the event
+  /// fires (the event itself still pops and counts). `guard` must stay
+  /// valid while the event is queued; pass nullptr for unconditional.
+  void schedule_at(Time t, UniqueFn fn, const std::uint64_t* guard, std::uint64_t expected);
 
   /// Schedules `fn` after `delay` microseconds.
-  void schedule_after(Time delay, std::function<void()> fn) {
+  void schedule_after(Time delay, UniqueFn fn) {
     schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+  void schedule_after(Time delay, UniqueFn fn, const std::uint64_t* guard,
+                      std::uint64_t expected) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn), guard, expected);
   }
 
   /// Runs the next event; returns false if the queue is empty or stopped.
@@ -51,15 +77,27 @@ class Simulator {
   void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
 
  private:
+  /// Initial capacity of the heap and callable slab; avoids reallocation
+  /// churn while a deployment warms up.
+  static constexpr std::size_t kHeapSlab = 4096;
+
+  /// Heap node: plain data, cheap to sift.
   struct Event {
     Time time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
+  };
+  /// Slab entry owning the callable (and its optional guard) for one
+  /// queued event. Recycled through free_slots_ (LIFO, deterministic).
+  struct Slot {
+    UniqueFn fn;
+    const std::uint64_t* guard = nullptr;
+    std::uint64_t expected = 0;
   };
 
   Time now_ = 0;
@@ -67,7 +105,9 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_budget_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> queue_;  // heap ordered by Later (min on (time, seq))
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace sdur::sim

@@ -31,10 +31,16 @@ Topology Topology::lan() {
   return t;
 }
 
+void Topology::place(ProcessId pid, Location loc) {
+  if (pid >= locations_.size()) locations_.resize(pid + 1, kUnplaced);
+  locations_[pid] = loc;
+}
+
 Location Topology::location(ProcessId pid) const {
-  auto it = locations_.find(pid);
-  if (it == locations_.end()) throw std::out_of_range("process not placed in topology");
-  return it->second;
+  if (pid >= locations_.size() || locations_[pid] == kUnplaced) {
+    throw std::out_of_range("process not placed in topology");
+  }
+  return locations_[pid];
 }
 
 Time Topology::region_delay(std::uint16_t from, std::uint16_t to) const {

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -53,7 +52,7 @@ class Topology {
   /// Multiplicative jitter: delays are scaled by U[1, 1+jitter].
   void set_jitter(double jitter) { jitter_ = jitter; }
 
-  void place(ProcessId pid, Location loc) { locations_[pid] = loc; }
+  void place(ProcessId pid, Location loc);
   Location location(ProcessId pid) const;
 
   /// Base one-way delay between two placed processes (before jitter).
@@ -69,11 +68,16 @@ class Topology {
   Time intra_region() const { return intra_region_; }
 
  private:
+  /// Sentinel marking a pid with no placement (process ids are small and
+  /// dense, so placements live in a flat pid-indexed vector — location()
+  /// sits on the per-message delay path).
+  static constexpr Location kUnplaced{0xFFFF, 0xFFFF};
+
   Time intra_dc_;
   Time intra_region_;
   double jitter_ = 0.05;
   std::vector<std::vector<Time>> inter_region_;
-  std::unordered_map<ProcessId, Location> locations_;
+  std::vector<Location> locations_;  // indexed by pid; kUnplaced = absent
 };
 
 }  // namespace sdur::sim

@@ -13,16 +13,19 @@ void Writer::varint(std::uint64_t v) {
 }
 
 void Writer::bytes(std::string_view s) {
+  ensure(s.size() + 10);  // worst-case varint prefix is 10 bytes
   varint(s.size());
   raw(s.data(), s.size());
 }
 
 void Writer::bytes(const Bytes& b) {
+  ensure(b.size() + 10);
   varint(b.size());
   raw(b.data(), b.size());
 }
 
 void Writer::raw(const void* data, std::size_t n) {
+  ensure(n);
   const auto* p = static_cast<const std::uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + n);
 }

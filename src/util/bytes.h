@@ -10,8 +10,11 @@
 // buffer throws CodecError rather than reading out of range.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -55,8 +58,26 @@ class Writer {
 
  private:
   void fixed(std::uint64_t v, int n) {
-    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    const std::size_t old = buf_.size();
+    ensure(static_cast<std::size_t>(n));
+    buf_.resize(old + static_cast<std::size_t>(n));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(buf_.data() + old, &v, static_cast<std::size_t>(n));
+    } else {
+      for (int i = 0; i < n; ++i) {
+        buf_[old + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+      }
+    }
   }
+
+  /// Grows capacity geometrically when `extra` more bytes won't fit.
+  /// (A bare reserve(size+extra) per call would pin capacity to the exact
+  /// size and make repeated appends quadratic.)
+  void ensure(std::size_t extra) {
+    const std::size_t need = buf_.size() + extra;
+    if (need > buf_.capacity()) buf_.reserve(std::max(need, buf_.capacity() * 2));
+  }
+
   Bytes buf_;
 };
 

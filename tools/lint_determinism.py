@@ -17,6 +17,13 @@ break that property:
                       serialized state.
   pointer-key         containers keyed by pointer values — iteration order
                       and hashes then depend on allocator addresses.
+  hotpath-std-function (src/sim only) std::function on the fabric hot path —
+                      the event loop stores sim::UniqueFn (sim/callable.h):
+                      move-only, inline storage, no per-event allocation.
+  message-copy-capture (src/sim only) lambda capture that copies a Message
+                      (`[m]` or `[m2 = m]`) — capture by std::move instead;
+                      a copy re-counts the payload on every scheduled
+                      delivery and hides accidental fan-out copies.
 
 Heuristic by design: it flags candidates, and provably order-insensitive
 uses are recorded in tools/lint_determinism_allow.txt with a justification.
@@ -60,6 +67,31 @@ RANDOM_PATTERNS = [
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
 RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:\w+(?:\.|->|::))*(\w+)\s*\)")
 LINE_COMMENT = re.compile(r"//.*$")
+
+# src/sim-only rules (the fabric hot path).
+STD_FUNCTION = re.compile(r"\bstd::function\s*<")
+# A lambda capture list: require a follower that rules out array indexing.
+CAPTURE_LIST = re.compile(r"\[([^\[\]]*)\]\s*(?:\(|mutable\b|\{|->)")
+MESSAGE_NAMES = {"m", "msg", "message"}
+
+
+def split_top_level(s: str) -> list[str]:
+    """Splits on commas not nested inside <>, (), [] or {}."""
+    out: list[str] = []
+    cur: list[str] = []
+    depth = 0
+    for c in s:
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    out.append("".join(cur))
+    return out
 
 
 def strip_comments(line: str) -> str:
@@ -147,6 +179,28 @@ def scan_file(path: Path, rel: str, unordered_names: set[str]) -> list[Finding]:
                     Finding(rel, lineno, "unordered-iteration", name,
                             f"range-for over unordered container `{name}` — iteration order can "
                             "leak into protocol state; use an ordered container or sort first"))
+        if rel.startswith("src/sim/"):
+            for m in STD_FUNCTION.finditer(line):
+                findings.append(
+                    Finding(rel, lineno, "hotpath-std-function", "std::function",
+                            "std::function on the fabric hot path — use sim::UniqueFn "
+                            "(sim/callable.h): move-only, inline storage, no per-event allocation"))
+            for cap in CAPTURE_LIST.finditer(line):
+                for item in split_top_level(cap.group(1)):
+                    item = item.strip()
+                    init = re.match(r"^(\w+)\s*=\s*(.+)$", item)
+                    if init:
+                        rhs = init.group(2).strip()
+                        if (re.fullmatch(r"(?:m|msg|message)", rhs)):
+                            findings.append(
+                                Finding(rel, lineno, "message-copy-capture", init.group(1),
+                                        f"lambda copy-captures Message `{rhs}` — capture with "
+                                        "std::move to keep deliveries zero-copy"))
+                    elif item in MESSAGE_NAMES:
+                        findings.append(
+                            Finding(rel, lineno, "message-copy-capture", item,
+                                    f"lambda copy-captures Message `{item}` — capture with "
+                                    "std::move to keep deliveries zero-copy"))
 
     # Pointer-valued keys: inspect every unordered/ordered associative decl.
     for m in re.finditer(r"\b(?:unordered_)?(?:map|set)\s*<", text):
