@@ -1,4 +1,9 @@
 #!/bin/bash
+# Usage: run_benches.sh [bench-name ...]
+# With no arguments, runs every binary in build/bench/. With arguments,
+# runs only the named benches (basenames, e.g. `run_benches.sh
+# harness_perf cert_perf`) — handy for seeding the perf trajectory with
+# the hot-path benches without paying for the full figure suite.
 out=/root/repo/bench_output.txt
 json_dir=/root/repo/bench_json
 mkdir -p "$json_dir"
@@ -9,6 +14,13 @@ export SDUR_BENCH_JSON_DIR="$json_dir"
 for b in /root/repo/build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
+  if [ "$#" -gt 0 ]; then
+    wanted=0
+    for want in "$@"; do
+      [ "$name" = "$want" ] && wanted=1
+    done
+    [ "$wanted" = 1 ] || continue
+  fi
   echo "### $name ###" >> "$out"
   args=()
   case "$name" in
@@ -24,8 +36,10 @@ for b in /root/repo/build/bench/*; do
 done
 # Fold this run's BENCH_*.json into bench_json/TRAJECTORY.json, keyed by
 # commit SHA, so perf numbers accumulate across PRs into one time series.
-python3 - "$json_dir" <<'PY' >> "$out" 2>&1
-import json, pathlib, subprocess, sys
+# A filtered run folds only the selected benches (stale BENCH files from
+# other binaries must not be re-attributed to this commit).
+SDUR_BENCH_FILTER="$*" python3 - "$json_dir" <<'PY' >> "$out" 2>&1
+import json, os, pathlib, subprocess, sys
 
 json_dir = pathlib.Path(sys.argv[1])
 try:
@@ -42,10 +56,14 @@ if traj_path.exists():
     except json.JSONDecodeError:
         print(f"TRAJECTORY.json unreadable; starting fresh")
 
-entry = {}
+selected = set(os.environ.get("SDUR_BENCH_FILTER", "").split())
+entry = trajectory.get(sha, {})
 for f in sorted(json_dir.glob("BENCH_*.json")):
+    name = f.stem.removeprefix("BENCH_")
+    if selected and name not in selected:
+        continue
     try:
-        entry[f.stem.removeprefix("BENCH_")] = json.loads(f.read_text())
+        entry[name] = json.loads(f.read_text())
     except json.JSONDecodeError as e:
         print(f"skipping {f.name}: {e}")
 

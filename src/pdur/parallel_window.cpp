@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/audit.h"
+
 namespace sdur::pdur {
 
 namespace {
@@ -24,47 +26,119 @@ void ParallelWindow::insert(storage::Version v, const util::KeySet& readset,
     e.readset = project(readset, part_, c);
     e.write_keys = project(write_keys, part_, c);
     if (e.readset.empty() && e.write_keys.empty()) continue;
-    lanes_[c].push_back(std::move(e));
+    lanes_[c].index.insert(v, e.readset, e.write_keys);
+    lanes_[c].entries.push_back(std::move(e));
   }
+}
+
+const ParallelWindow::Entry& ParallelWindow::lane_entry(const Lane& lane,
+                                                        storage::Version v) const {
+  auto it = std::lower_bound(
+      lane.entries.begin(), lane.entries.end(), v,
+      [](const Entry& e, storage::Version version) { return e.version < version; });
+  return *it;
+}
+
+bool ParallelWindow::lane_scan_vote(const Lane& lane, const util::KeySet& rs_c,
+                                    const util::KeySet& ws_c, bool global,
+                                    storage::Version st) const {
+  // Lane entries are version-ascending; start past the snapshot. This is
+  // Algorithm 2's check restricted to one sub-partition.
+  auto it = std::lower_bound(
+      lane.entries.begin(), lane.entries.end(), st + 1,
+      [](const Entry& e, storage::Version v) { return e.version < v; });
+  for (; it != lane.entries.end(); ++it) {
+    if (rs_c.intersects(it->write_keys)) return true;
+    if (global && ws_c.intersects(it->readset)) return true;
+  }
+  return false;
+}
+
+bool ParallelWindow::lane_indexed_vote(const Lane& lane, const util::KeySet& rs_c,
+                                       const util::KeySet& ws_c, bool global,
+                                       storage::Version st) const {
+  // Component A: the lane's projected readset vs its entries' write keys.
+  // A bloom probe readset cannot drive key probes — scan the lane suffix.
+  if (rs_c.is_bloom() && !rs_c.empty()) {
+    auto it = std::lower_bound(
+        lane.entries.begin(), lane.entries.end(), st + 1,
+        [](const Entry& e, storage::Version v) { return e.version < v; });
+    for (; it != lane.entries.end(); ++it) {
+      ++scanned_;
+      if (rs_c.intersects(it->write_keys)) return true;
+    }
+  } else {
+    scanned_ += rs_c.keys().size();
+    if (lane.index.reads_conflict(rs_c, st)) return true;
+    const auto& bws = lane.index.bloom_write_versions();
+    for (auto it = std::upper_bound(bws.begin(), bws.end(), st); it != bws.end(); ++it) {
+      ++scanned_;
+      if (rs_c.intersects(lane_entry(lane, *it).write_keys)) return true;
+    }
+  }
+  if (!global) return false;
+  // Component B: the lane's projected write keys vs its entries' readsets.
+  if (ws_c.is_bloom() && !ws_c.empty()) {
+    auto it = std::lower_bound(
+        lane.entries.begin(), lane.entries.end(), st + 1,
+        [](const Entry& e, storage::Version v) { return e.version < v; });
+    for (; it != lane.entries.end(); ++it) {
+      ++scanned_;
+      if (ws_c.intersects(it->readset)) return true;
+    }
+    return false;
+  }
+  scanned_ += ws_c.keys().size();
+  if (lane.index.writes_conflict(ws_c, st)) return true;
+  const auto& brs = lane.index.bloom_read_versions();
+  for (auto it = std::upper_bound(brs.begin(), brs.end(), st); it != brs.end(); ++it) {
+    ++scanned_;
+    if (ws_c.intersects(lane_entry(lane, *it).readset)) return true;
+  }
+  return false;
 }
 
 bool ParallelWindow::conflicts(const util::KeySet& readset, const util::KeySet& write_keys,
                                bool global, const std::vector<CoreId>& cores,
                                storage::Version st) const {
   for (CoreId c : cores) {
-    const auto& lane = lanes_[c];
-    // Lane entries are version-ascending; start past the snapshot.
-    auto it = std::lower_bound(lane.begin(), lane.end(), st + 1,
-                               [](const Entry& e, storage::Version v) { return e.version < v; });
-    if (it == lane.end()) continue;
-    // This core's vote: scan its slice of the window against the
-    // transaction's projection onto its keys (Algorithm 2's check,
-    // restricted to one sub-partition).
+    const Lane& lane = lanes_[c];
+    if (lane.entries.empty() || lane.entries.back().version <= st) continue;
     const util::KeySet rs_c = project(readset, part_, c);
     const util::KeySet ws_c = project(write_keys, part_, c);
-    for (; it != lane.end(); ++it) {
-      ++scanned_;
-      if (rs_c.intersects(it->write_keys)) return true;
-      if (global && ws_c.intersects(it->readset)) return true;
-    }
+    const bool vote = lane_indexed_vote(lane, rs_c, ws_c, global, st);
+    // Each lane's sub-index must reproduce that lane's scan vote exactly —
+    // the per-core slice of the index-scan equivalence bar.
+    SDUR_AUDIT_CHECK("pdur", "index-scan-equivalence",
+                     vote == lane_scan_vote(lane, rs_c, ws_c, global, st),
+                     "lane " << c << " indexed vote " << (vote ? "conflict" : "clear")
+                             << " (st=" << st << ") diverges from the lane scan");
+    if (vote) return true;
   }
   return false;
 }
 
 void ParallelWindow::evict_below(storage::Version base) {
   for (auto& lane : lanes_) {
-    while (!lane.empty() && lane.front().version < base) lane.pop_front();
+    while (!lane.entries.empty() && lane.entries.front().version < base) {
+      const Entry& e = lane.entries.front();
+      lane.index.evict(e.version, e.readset, e.write_keys);
+      lane.entries.pop_front();
+    }
   }
 }
 
 void ParallelWindow::clear() {
-  for (auto& lane : lanes_) lane.clear();
+  for (auto& lane : lanes_) {
+    lane.entries.clear();
+    lane.index.clear();
+  }
   scanned_ = 0;
 }
 
 std::size_t ParallelWindow::entry_count() const {
   std::size_t n = 0;
-  for (const auto& lane : lanes_) n += lane.size();
+  for (const auto& lane : lanes_) n += lane.entries.size();
   return n;
 }
 

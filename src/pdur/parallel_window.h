@@ -20,6 +20,14 @@
 // counter; the lanes only index their entries by it, so entries within a
 // lane are version-sorted and the (st, cc] scan is a binary search plus a
 // suffix walk over ~1/K of the window.
+//
+// INDEXED LANES. Each lane additionally maintains a storage::CertIndex
+// sub-index over its projected entries, so a core's vote is O(projected
+// set size) hash probes plus a scan of only the lane's bloom-encoded
+// suffix — the per-core mirror of the serial certifier's index. Audit
+// builds cross-check every lane vote against that lane's scan
+// ("index-scan-equivalence"), on top of the certifier-level
+// parallel-vs-serial cross-check.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "pdur/core_partitioner.h"
+#include "storage/cert_index.h"
 #include "storage/mvstore.h"
 #include "util/bloom.h"
 
@@ -45,10 +54,10 @@ class ParallelWindow {
               const std::vector<CoreId>& cores);
 
   /// Parallel certification check for a transaction with snapshot `st`:
-  /// every home core scans its lane over versions in (st, +inf) and votes;
-  /// returns true iff any core detected a conflict. `global` adds the
-  /// write/read check global transactions need (Section III-B of the SDUR
-  /// paper).
+  /// every home core probes its lane sub-index (falling back to a lane
+  /// scan for bloom-mode sets) and votes; returns true iff any core
+  /// detected a conflict. `global` adds the write/read check global
+  /// transactions need (Section III-B of the SDUR paper).
   bool conflicts(const util::KeySet& readset, const util::KeySet& write_keys, bool global,
                  const std::vector<CoreId>& cores, storage::Version st) const;
 
@@ -60,9 +69,9 @@ class ParallelWindow {
   /// Total lane entries currently held (across cores).
   std::size_t entry_count() const;
   /// Entries in one core's lane.
-  std::size_t lane_size(CoreId c) const { return lanes_[c].size(); }
-  /// Cumulative lane entries scanned by conflict checks (cost metric: the
-  /// per-core scan depth is what P-DUR divides by K).
+  std::size_t lane_size(CoreId c) const { return lanes_[c].entries.size(); }
+  /// Cumulative certification work units: index key probes plus lane
+  /// entries touched by fallback scans (the cost P-DUR divides by K).
   std::uint64_t scanned() const { return scanned_; }
 
  private:
@@ -72,8 +81,22 @@ class ParallelWindow {
     util::KeySet write_keys;  // exact projection onto the lane's keys
   };
 
+  struct Lane {
+    std::deque<Entry> entries;        // version-ascending
+    storage::CertIndex index;         // sub-index over the projections
+  };
+
+  /// Lane vote via the legacy scan over the lane's (st, +inf) suffix.
+  bool lane_scan_vote(const Lane& lane, const util::KeySet& rs_c, const util::KeySet& ws_c,
+                      bool global, storage::Version st) const;
+  /// Lane vote via the sub-index (bit-identical to lane_scan_vote).
+  bool lane_indexed_vote(const Lane& lane, const util::KeySet& rs_c, const util::KeySet& ws_c,
+                         bool global, storage::Version st) const;
+  /// Lane entry holding version `v` (binary search; must exist).
+  const Entry& lane_entry(const Lane& lane, storage::Version v) const;
+
   CorePartitioner part_;
-  std::vector<std::deque<Entry>> lanes_;  // version-ascending per core
+  std::vector<Lane> lanes_;
   mutable std::uint64_t scanned_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "sdur/certifier.h"
 
+#include <algorithm>
+
 #include "audit/audit.h"
 
 namespace sdur {
@@ -9,7 +11,7 @@ const Certifier::Slot* Certifier::slot(Version v) const {
   return &slots_[static_cast<std::size_t>(v - base_)];
 }
 
-bool Certifier::has_conflict(const PartTx& t, Version st) const {
+bool Certifier::scan_conflict(const PartTx& t, Version st) const {
   // Certify against every assigned version in (st, cc] — committed,
   // pending AND vote-aborted alike. Slot status must not influence the
   // decision: at the moment a transaction is delivered, different replicas
@@ -29,6 +31,64 @@ bool Certifier::has_conflict(const PartTx& t, Version st) const {
     if (t.is_global() && t.write_keys.intersects(s.readset)) return true;
   }
   return false;
+}
+
+bool Certifier::indexed_conflict(const PartTx& t, Version st) const {
+  if (st >= cc_) return false;  // nothing serialized after the snapshot
+  // Component A: rs(t) vs the write keys of every slot in (st, cc]. Write
+  // keys are always exact, so the last-writer index covers every slot; a
+  // bloom probe readset cannot drive key probes and falls back to the
+  // scan for this component.
+  if (t.readset.is_bloom() && !t.readset.empty()) {
+    const Version from = std::max(st + 1, base_);
+    for (Version v = from; v <= cc_; ++v) {
+      if (t.readset.intersects(slots_[static_cast<std::size_t>(v - base_)].write_keys)) {
+        return true;
+      }
+    }
+  } else {
+    if (index_.reads_conflict(t.readset, st)) return true;
+    const auto& bws = index_.bloom_write_versions();
+    for (auto it = std::upper_bound(bws.begin(), bws.end(), st); it != bws.end(); ++it) {
+      if (t.readset.intersects(slots_[static_cast<std::size_t>(*it - base_)].write_keys)) {
+        return true;
+      }
+    }
+  }
+  if (!t.is_global()) return false;
+  // Component B: ws(t) vs the readsets of slots in (st, cc] (Section
+  // III-B). Slots carrying bloom readsets cannot be key-indexed — scan
+  // only that suffix, preserving ablation_bloom semantics.
+  if (t.write_keys.is_bloom() && !t.write_keys.empty()) {
+    const Version from = std::max(st + 1, base_);
+    for (Version v = from; v <= cc_; ++v) {
+      if (t.write_keys.intersects(slots_[static_cast<std::size_t>(v - base_)].readset)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (index_.writes_conflict(t.write_keys, st)) return true;
+  const auto& brs = index_.bloom_read_versions();
+  for (auto it = std::upper_bound(brs.begin(), brs.end(), st); it != brs.end(); ++it) {
+    if (t.write_keys.intersects(slots_[static_cast<std::size_t>(*it - base_)].readset)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Certifier::has_conflict(const PartTx& t, Version st) const {
+  const bool indexed = indexed_conflict(t, st);
+  // The index must reproduce the scan verdict bit for bit — same boolean
+  // on every delivery, or replicas running different strategies would
+  // diverge. Audit builds re-run the legacy scan in place.
+  SDUR_AUDIT_CHECK("certifier", "index-scan-equivalence", indexed == scan_conflict(t, st),
+                   "indexed certification verdict " << (indexed ? "conflict" : "clear")
+                                                    << " for tx " << t.id << " (st=" << st
+                                                    << ", window [" << base_ << ", " << cc_
+                                                    << "]) diverges from the window scan");
+  return indexed;
 }
 
 Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uint64_t dc) {
@@ -91,6 +151,7 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
   result.reordered = position < pl_.size();
   result.version = ++cc_;
   slots_.push_back(Slot{t.id, t.is_global(), SlotStatus::kPending, t.readset, t.write_keys});
+  index_.insert(result.version, t.readset, t.write_keys);
   if (parallel()) window_->insert(result.version, t.readset, t.write_keys, result.cores);
   pl_.insert(pl_.begin() + static_cast<std::ptrdiff_t>(position),
              PendingEntry{t, rt, result.version, 0, 0, false, true});
@@ -147,6 +208,8 @@ void Certifier::resolve(const PendingEntry& entry, bool committed) {
                                                << " (cc=" << cc_ << ")");
   // Evict old resolved slots beyond the window capacity.
   while (slots_.size() > window_capacity_ && base_ <= stable_) {
+    const Slot& oldest = slots_.front();
+    index_.evict(base_, oldest.readset, oldest.write_keys);
     slots_.pop_front();
     ++base_;
   }
@@ -204,15 +267,19 @@ void Certifier::install(util::Reader& r) {
 }
 
 void Certifier::rebuild_window() {
-  if (!parallel()) return;
-  window_->clear();
-  // The checkpoint carries the full keysets per slot; the per-core
-  // projections and home cores are recomputed — a pure function of the
-  // keysets, so every replica rebuilds identical lanes.
+  // The checkpoint carries the full keysets per slot; the key index (and,
+  // in P-DUR mode, the per-core projections and home cores) are recomputed
+  // — a pure function of the keysets, so every replica rebuilds identical
+  // state.
+  index_.clear();
+  if (parallel()) window_->clear();
   for (Version v = base_; v <= cc_; ++v) {
     const Slot& s = slots_[static_cast<std::size_t>(v - base_)];
-    window_->insert(v, s.readset, s.write_keys,
-                    window_->partitioner().home_cores(s.readset, s.write_keys));
+    index_.insert(v, s.readset, s.write_keys);
+    if (parallel()) {
+      window_->insert(v, s.readset, s.write_keys,
+                      window_->partitioner().home_cores(s.readset, s.write_keys));
+    }
   }
 }
 
@@ -222,6 +289,7 @@ void Certifier::reset() {
   cc_ = 0;
   stable_ = 0;
   pl_.clear();
+  index_.clear();
   if (parallel()) window_->clear();
 }
 

@@ -51,6 +51,7 @@
 
 #include "pdur/parallel_window.h"
 #include "sdur/transaction.h"
+#include "storage/cert_index.h"
 #include "util/bloom.h"
 
 namespace sdur {
@@ -137,9 +138,10 @@ class Certifier {
   /// served at this snapshot.
   Version stable() const { return stable_; }
 
-  /// True if a snapshot is still coverable by the window.
+  /// True if a snapshot is still coverable by the window. Written without
+  /// `st + 1` so st == INT64_MAX cannot overflow.
   bool covers(Version st) const {
-    return slots_.empty() || (st < 0 ? stable_ : st) + 1 >= base_;
+    return slots_.empty() || (st < 0 ? stable_ : st) >= base_ - 1;
   }
   std::size_t window_size() const { return slots_.size(); }
 
@@ -165,8 +167,15 @@ class Certifier {
   bool parallel() const { return window_ != nullptr; }
 
  private:
+  /// Indexed conflict verdict (audit builds cross-check it against
+  /// scan_conflict in place).
   bool has_conflict(const PartTx& t, Version st) const;
-  /// Rebuilds the per-core lanes from slots_ (after install()).
+  /// The legacy O(window) scan — the reference the index must match.
+  bool scan_conflict(const PartTx& t, Version st) const;
+  /// Indexed strategy: key probes + bloom-suffix scan over slots_.
+  bool indexed_conflict(const PartTx& t, Version st) const;
+  /// Rebuilds the per-core lanes and the key index from slots_ (after
+  /// install()).
   void rebuild_window();
 
   std::size_t window_capacity_;
@@ -176,6 +185,9 @@ class Certifier {
   Version cc_ = 0;          // last assigned version
   Version stable_ = 0;      // resolved prefix
   std::deque<PendingEntry> pl_;
+  /// Per-key last-writer / last-reader index over slots_, maintained on
+  /// certification and eviction (see storage/cert_index.h).
+  storage::CertIndex index_;
   /// P-DUR per-core windows; null in the serial model. Mirrors slots_
   /// (projected per core), rebuilt from it on install().
   std::unique_ptr<pdur::ParallelWindow> window_;

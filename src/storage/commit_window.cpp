@@ -2,26 +2,82 @@
 
 #include <stdexcept>
 
-#include "audit/audit.h"
-
 namespace sdur::storage {
 
 void CommitWindow::push(Version version, CommitRecord rec) {
   // The window is a contiguous suffix of the commit sequence: a gap would
   // silently exempt the missing commit from every later certification.
   SDUR_AUDIT_CHECK("storage", "commit-window-contiguous",
-                   records_.empty() || version == newest() + 1,
+                   count_ == 0 || version == newest() + 1,
                    "commit record for tx " << rec.txid << " pushed at version " << version
                                            << ", window newest is " << newest());
-  if (!records_.empty() && version != newest() + 1) {
+  if (count_ != 0 && version != newest() + 1) {
     throw std::logic_error("CommitWindow::push: versions must be contiguous");
   }
-  if (records_.empty()) base_ = version;
-  records_.push_back(std::move(rec));
-  while (records_.size() > capacity_) {
-    records_.pop_front();
-    ++base_;
+  if (count_ == 0) {
+    base_ = version;
+    head_ = 0;
   }
+  index_.insert(version, rec.readset, rec.writeset);
+  if (count_ == capacity_) {
+    // Saturated: evict the oldest record and recycle its arena slot (the
+    // tail position equals head_ when the ring is full).
+    const CommitRecord& oldest_rec = ring_[head_];
+    index_.evict(base_, oldest_rec.readset, oldest_rec.writeset);
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % ring_.size();
+    ++base_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));  // arena still filling up
+  } else {
+    ring_[(head_ + count_) % ring_.size()] = std::move(rec);
+  }
+  ++count_;
+}
+
+bool CommitWindow::conflicts_indexed(const util::KeySet& rs, const util::KeySet& ws, bool global,
+                                     Version st) const {
+  if (count_ == 0 || st >= newest()) return false;
+  // Component A: rs vs committed writesets. A bloom probe readset cannot
+  // drive key probes — fall back to the legacy scan for this component.
+  if (rs.is_bloom() && !rs.empty()) {
+    bool hit = false;
+    scan_after(st, [&](const CommitRecord& r) {
+      if (rs.intersects(r.writeset)) {
+        hit = true;
+        return false;
+      }
+      return true;
+    });
+    if (hit) return true;
+  } else {
+    if (index_.reads_conflict(rs, st)) return true;
+    const auto& bws = index_.bloom_write_versions();
+    for (auto it = std::upper_bound(bws.begin(), bws.end(), st); it != bws.end(); ++it) {
+      if (rs.intersects(at(*it).writeset)) return true;
+    }
+  }
+  if (!global) return false;
+  // Component B: ws vs committed readsets (global transactions only).
+  if (ws.is_bloom() && !ws.empty()) {
+    bool hit = false;
+    scan_after(st, [&](const CommitRecord& r) {
+      if (ws.intersects(r.readset)) {
+        hit = true;
+        return false;
+      }
+      return true;
+    });
+    return hit;
+  }
+  if (index_.writes_conflict(ws, st)) return true;
+  const auto& brs = index_.bloom_read_versions();
+  for (auto it = std::upper_bound(brs.begin(), brs.end(), st); it != brs.end(); ++it) {
+    if (ws.intersects(at(*it).readset)) return true;
+  }
+  return false;
 }
 
 }  // namespace sdur::storage

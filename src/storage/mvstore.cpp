@@ -8,81 +8,79 @@
 namespace sdur::storage {
 
 std::optional<VersionedValue> MVStore::get(Key k, Version snapshot) const {
-  auto it = map_.find(k);
-  if (it == map_.end()) return std::nullopt;
-  const auto& versions = it->second;
+  const VersionChain* chain = map_.find(k);
+  if (chain == nullptr || chain->empty()) return std::nullopt;
   // First version with version > snapshot; the predecessor is the answer.
-  auto pos = std::upper_bound(versions.begin(), versions.end(), snapshot,
-                              [](Version s, const VersionedValue& v) { return s < v.version; });
-  if (pos == versions.begin()) return std::nullopt;
-  return *(pos - 1);
+  const std::size_t pos = chain->upper_bound(snapshot);
+  if (pos == 0) return std::nullopt;
+  return (*chain)[pos - 1];
 }
 
 std::optional<VersionedValue> MVStore::get_latest(Key k) const {
-  auto it = map_.find(k);
-  if (it == map_.end() || it->second.empty()) return std::nullopt;
-  return it->second.back();
+  const VersionChain* chain = map_.find(k);
+  if (chain == nullptr || chain->empty()) return std::nullopt;
+  return chain->back();
 }
 
 void MVStore::put(Key k, std::string value, Version version) {
-  auto& versions = map_[k];
+  VersionChain& chain = map_[k];
   // Commits are applied in snapshot-counter order, so per-key versions are
   // non-decreasing; a regression means the apply order diverged from the
   // commit order.
-  SDUR_AUDIT_CHECK("storage", "version-order", versions.empty() || versions.back().version <= version,
+  SDUR_AUDIT_CHECK("storage", "version-order", chain.empty() || chain.back().version <= version,
                    "key " << k << " written at version " << version << " after version "
-                          << versions.back().version);
-  if (!versions.empty() && versions.back().version > version) {
+                          << chain.back().version);
+  if (!chain.empty() && chain.back().version > version) {
     throw std::logic_error("MVStore::put: version regression");
   }
-  if (!versions.empty() && versions.back().version == version) {
-    versions.back().value = std::move(value);  // same-snapshot overwrite
+  if (!chain.empty() && chain.back().version == version) {
+    chain.back().value = std::move(value);  // same-snapshot overwrite
     return;
   }
-  versions.push_back(VersionedValue{version, std::move(value)});
+  chain.push_back(VersionedValue{version, std::move(value)});
   ++versions_;
 }
 
 void MVStore::truncate_above(Version horizon) {
-  for (auto it = map_.begin(); it != map_.end();) {
-    auto& versions = it->second;
-    while (!versions.empty() && versions.back().version > horizon) {
-      versions.pop_back();
+  // Collect first: erase() perturbs the probe layout mid-walk.
+  std::vector<Key> ks = keys();
+  for (Key k : ks) {
+    VersionChain& chain = *map_.find(k);
+    while (!chain.empty() && chain.back().version > horizon) {
+      chain.pop_back();
       --versions_;
     }
-    it = versions.empty() ? map_.erase(it) : std::next(it);
+    if (chain.empty()) map_.erase(k);
   }
 }
 
 void MVStore::gc(Version horizon) {
-  for (auto& [k, versions] : map_) {
-    if (versions.size() <= 1) continue;
+  map_.for_each([&](Key, VersionChain& chain) {
+    if (chain.size() <= 1) return;
     // Keep the newest version <= horizon (still readable at the horizon)
     // and everything newer.
-    auto pos = std::upper_bound(versions.begin(), versions.end(), horizon,
-                                [](Version s, const VersionedValue& v) { return s < v.version; });
-    if (pos == versions.begin()) continue;
-    auto first_kept = pos - 1;
-    if (first_kept == versions.begin()) continue;
-    versions_ -= static_cast<std::size_t>(first_kept - versions.begin());
-    versions.erase(versions.begin(), first_kept);
-  }
+    const std::size_t pos = chain.upper_bound(horizon);
+    if (pos <= 1) return;
+    const std::size_t drop = pos - 1;
+    chain.drop_front(drop);
+    versions_ -= drop;
+  });
 }
 
 void MVStore::encode(util::Writer& w) const {
   // Keys are serialized sorted so a checkpoint blob is a canonical function
   // of the store's contents — byte-identical across replicas regardless of
-  // hash-map iteration order.
+  // hash-table probe order.
   std::vector<Key> ks = keys();
   std::sort(ks.begin(), ks.end());
   w.varint(ks.size());
   for (Key k : ks) {
-    const auto& versions = map_.at(k);
+    const VersionChain& chain = *map_.find(k);
     w.u64(k);
-    w.varint(versions.size());
-    for (const auto& vv : versions) {
-      w.i64(vv.version);
-      w.bytes(vv.value);
+    w.varint(chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      w.i64(chain[i].version);
+      w.bytes(chain[i].value);
     }
   }
 }
@@ -95,13 +93,13 @@ void MVStore::install(util::Reader& r) {
   for (std::uint64_t i = 0; i < nkeys; ++i) {
     const Key k = r.u64();
     const std::uint64_t nv = r.varint();
-    auto& versions = map_[k];
-    versions.reserve(nv);
+    VersionChain& chain = map_[k];
+    chain.reserve(nv);
     for (std::uint64_t j = 0; j < nv; ++j) {
       VersionedValue vv;
       vv.version = r.i64();
       vv.value = r.bytes();
-      versions.push_back(std::move(vv));
+      chain.push_back(std::move(vv));
     }
     versions_ += nv;
   }

@@ -9,14 +9,22 @@
 // transaction t under snapshot counter SC writes its updates with version
 // SC+1 and then advances the counter, so a transaction that began at
 // snapshot SC never observes t's writes.
+//
+// HOT PATH. get()/put() run once per read / per committed write across
+// every simulated server, so the store avoids std::unordered_map's
+// per-node allocations: keys live in an open-addressing flat table
+// (storage/flat_table.h) and each key's version chain keeps its first two
+// versions inline — most keys never see more than a couple of live
+// versions between GC horizons, so the common chain never touches the
+// heap. Chains spill into a vector past the inline slots.
 #pragma once
 
 #include <cstdint>
 
+#include "storage/flat_table.h"
 #include "util/bytes.h"
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace sdur::storage {
@@ -28,6 +36,95 @@ using Version = std::int64_t;
 struct VersionedValue {
   Version version = 0;
   std::string value;
+};
+
+/// A key's versions in ascending version order: `kInline` slots stored in
+/// place, the rest spilled to a heap vector. Indexable like a vector.
+class VersionChain {
+ public:
+  static constexpr std::size_t kInline = 2;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const VersionedValue& operator[](std::size_t i) const {
+    return i < kInline ? inline_[i] : spill_[i - kInline];
+  }
+  VersionedValue& operator[](std::size_t i) {
+    return i < kInline ? inline_[i] : spill_[i - kInline];
+  }
+  const VersionedValue& front() const { return (*this)[0]; }
+  const VersionedValue& back() const { return (*this)[size_ - 1]; }
+  VersionedValue& back() { return (*this)[size_ - 1]; }
+
+  void push_back(VersionedValue vv) {
+    if (size_ < kInline) {
+      inline_[size_] = std::move(vv);
+    } else {
+      spill_.push_back(std::move(vv));
+    }
+    ++size_;
+  }
+
+  void pop_back() {
+    --size_;
+    if (size_ >= kInline) {
+      spill_.pop_back();
+    } else {
+      inline_[size_] = VersionedValue{};
+    }
+  }
+
+  /// Drops the first `n` versions (GC of pre-horizon versions).
+  void drop_front(std::size_t n) {
+    if (n == 0) return;
+    for (std::size_t i = n; i < size_; ++i) (*this)[i - n] = std::move((*this)[i]);
+    for (std::size_t i = 0; i < n; ++i) pop_back();
+  }
+
+  void reserve(std::size_t n) {
+    if (n > kInline) spill_.reserve(n - kInline);
+  }
+
+  /// Read-only forward iteration in version order (inline slots first,
+  /// then the spill vector).
+  class const_iterator {
+   public:
+    const_iterator(const VersionChain* chain, std::size_t i) : chain_(chain), i_(i) {}
+    const VersionedValue& operator*() const { return (*chain_)[i_]; }
+    const VersionedValue* operator->() const { return &(*chain_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const VersionChain* chain_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+  /// Index of the first version > `snapshot` (== size() if none).
+  std::size_t upper_bound(Version snapshot) const {
+    std::size_t lo = 0, hi = size_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if ((*this)[mid].version <= snapshot) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  VersionedValue inline_[kInline];
+  std::vector<VersionedValue> spill_;
 };
 
 class MVStore {
@@ -62,26 +159,22 @@ class MVStore {
   void encode(util::Writer& w) const;
   void install(util::Reader& r);
 
-  /// All keys present in the store, in hash-map order — callers that care
+  /// All keys present in the store, in hash order — callers that care
   /// about determinism must sort (encode() does).
   std::vector<Key> keys() const {
     std::vector<Key> out;
     out.reserve(map_.size());
-    for (const auto& [k, v] : map_) out.push_back(k);
+    map_.for_each([&](Key k, const VersionChain&) { out.push_back(k); });
     return out;
   }
 
   /// All versions of a key in ascending version order (nullptr if absent).
   /// Used by tests (e.g. to recover the per-key write order for the
   /// serializability checker).
-  const std::vector<VersionedValue>* versions_of(Key k) const {
-    auto it = map_.find(k);
-    return it == map_.end() ? nullptr : &it->second;
-  }
+  const VersionChain* versions_of(Key k) const { return map_.find(k); }
 
  private:
-  // Versions stored ascending; lookups binary-search from the back.
-  std::unordered_map<Key, std::vector<VersionedValue>> map_;
+  FlatTable<VersionChain> map_;
   std::size_t versions_ = 0;
 };
 

@@ -17,6 +17,7 @@
 #include <algorithm>
 
 #include "audit/audit.h"
+#include "audit/auditor.h"
 #include "pdur/core_partitioner.h"
 #include "pdur/parallel_window.h"
 #include "sdur/certifier.h"

@@ -2,8 +2,16 @@
 // certification commit window.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
 #include "storage/commit_window.h"
+#include "storage/flat_table.h"
 #include "storage/mvstore.h"
+#include "util/bytes.h"
 
 namespace sdur::storage {
 namespace {
@@ -131,6 +139,162 @@ TEST(CommitWindow, NonContiguousPushThrows) {
   CommitWindow w(10);
   w.push(1, rec(1, {}, {}));
   EXPECT_THROW(w.push(3, rec(2, {}, {})), std::logic_error);
+}
+
+// --- Hardened covers()/scan_after() boundaries -------------------------------
+
+TEST(CommitWindow, EmptyWindowCoversEverySnapshot) {
+  CommitWindow w(4);
+  EXPECT_TRUE(w.covers(0));
+  EXPECT_TRUE(w.covers(-1));
+  EXPECT_TRUE(w.covers(std::numeric_limits<Version>::max()));
+  int visits = 0;
+  EXPECT_TRUE(w.scan_after(0, [&](const CommitRecord&) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(CommitWindow, ExactBaseBoundary) {
+  CommitWindow w(3);
+  for (Version v = 1; v <= 5; ++v) w.push(v, rec(static_cast<std::uint64_t>(v), {}, {}));
+  // Window holds [3, 5]. st == base - 1 == 2 is the oldest coverable
+  // snapshot: the scan must visit the whole window, starting at the base.
+  ASSERT_EQ(w.oldest(), 3);
+  EXPECT_TRUE(w.covers(2));
+  std::vector<std::uint64_t> seen;
+  w.scan_after(2, [&](const CommitRecord& r) {
+    seen.push_back(r.txid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(CommitWindow, PredatesWindowIsAnAuditViolation) {
+  audit::Auditor::instance().reset();
+  CommitWindow w(3);
+  for (Version v = 1; v <= 5; ++v) w.push(v, rec(static_cast<std::uint64_t>(v), {}, {}));
+  ASSERT_FALSE(w.covers(1));
+  ASSERT_TRUE(audit::Auditor::instance().clean());
+  // The scan still clamps to the base (callers must check covers() first),
+  // but the silent clamp is now an audited precondition violation.
+  int visits = 0;
+  w.scan_after(1, [&](const CommitRecord&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 3);
+#if SDUR_AUDIT_ON
+  EXPECT_FALSE(audit::Auditor::instance().clean());
+  ASSERT_EQ(audit::Auditor::instance().violations().size(), 1u);
+  EXPECT_EQ(audit::Auditor::instance().violations().front().invariant, "scan-covers-precondition");
+#endif
+  audit::Auditor::instance().reset();
+}
+
+TEST(CommitWindow, MaxSnapshotDoesNotOverflow) {
+  CommitWindow w(3);
+  for (Version v = 1; v <= 5; ++v) w.push(v, rec(static_cast<std::uint64_t>(v), {}, {}));
+  const Version huge = std::numeric_limits<Version>::max();
+  // st >= newest: nothing to scan, and st + 1 must never be computed.
+  EXPECT_TRUE(w.covers(huge));
+  int visits = 0;
+  EXPECT_TRUE(w.scan_after(huge, [&](const CommitRecord&) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, 0);
+  EXPECT_FALSE(w.conflicts_scan(util::KeySet::exact({1}), util::KeySet::exact({1}), true, huge));
+  EXPECT_FALSE(w.conflicts_indexed(util::KeySet::exact({1}), util::KeySet::exact({1}), true, huge));
+}
+
+TEST(CommitWindow, ArenaRecyclingKeepsRecordsIntact) {
+  // Push far past capacity so every ring slot is recycled repeatedly, then
+  // check the surviving records are exactly the newest `capacity` ones.
+  CommitWindow w(4);
+  for (Version v = 1; v <= 23; ++v) {
+    w.push(v, rec(static_cast<std::uint64_t>(100 + v),
+                  {static_cast<std::uint64_t>(v)}, {static_cast<std::uint64_t>(v)}));
+  }
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.oldest(), 20);
+  EXPECT_EQ(w.newest(), 23);
+  std::vector<std::uint64_t> seen;
+  w.scan_after(w.oldest() - 1, [&](const CommitRecord& r) {
+    seen.push_back(r.txid);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{120, 121, 122, 123}));
+  // The index tracked eviction: only the surviving writers conflict.
+  EXPECT_FALSE(w.conflicts(util::KeySet::exact({19}), util::KeySet::exact({}), false, 19));
+  EXPECT_TRUE(w.conflicts(util::KeySet::exact({21}), util::KeySet::exact({}), false, 19));
+}
+
+// --- FlatTable / VersionChain hot-path structures ----------------------------
+
+TEST(FlatTable, InsertFindEraseAcrossGrowth) {
+  FlatTable<int> t;
+  for (std::uint64_t k = 0; k < 500; ++k) t[k * 977] = static_cast<int>(k);
+  EXPECT_EQ(t.size(), 500u);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const int* v = t.find(k * 977);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  EXPECT_EQ(t.find(12345678901ull), nullptr);
+  // Erase every other key; backward-shift deletion must keep the rest
+  // reachable through their probe chains.
+  for (std::uint64_t k = 0; k < 500; k += 2) EXPECT_TRUE(t.erase(k * 977));
+  EXPECT_FALSE(t.erase(977 * 2));  // already gone
+  EXPECT_EQ(t.size(), 250u);
+  for (std::uint64_t k = 1; k < 500; k += 2) {
+    ASSERT_NE(t.find(k * 977), nullptr) << "key " << k * 977 << " lost after neighbor erase";
+  }
+}
+
+TEST(VersionChain, SpillsPastInlineSlots) {
+  MVStore s;
+  for (Version v = 1; v <= 6; ++v) {
+    s.put(9, "v" + std::to_string(v), v);
+  }
+  const VersionChain* chain = s.versions_of(9);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_EQ(chain->size(), 6u) << "inline slots plus spill";
+  for (Version v = 1; v <= 6; ++v) {
+    EXPECT_EQ(s.get(9, v)->value, "v" + std::to_string(v));
+  }
+  // GC across the inline/spill boundary.
+  s.gc(5);
+  EXPECT_EQ(s.get(9, 5)->value, "v5");
+  EXPECT_EQ(s.get(9, 6)->value, "v6");
+  EXPECT_FALSE(s.get(9, 3).has_value());
+  // Truncate back down into the inline region.
+  s.truncate_above(5);
+  EXPECT_EQ(s.get_latest(9)->value, "v5");
+}
+
+TEST(MVStore, EncodeInstallRoundTripsFlatTable) {
+  MVStore s;
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    s.put(k, "a" + std::to_string(k), 1);
+    if (k % 3 == 0) s.put(k, "b" + std::to_string(k), 2 + static_cast<Version>(k));
+  }
+  util::Writer w1;
+  s.encode(w1);
+
+  MVStore t;
+  t.put(999, "stale", 7);  // install() must fully replace this
+  util::Reader r(w1.data());
+  t.install(r);
+  EXPECT_EQ(t.key_count(), s.key_count());
+  EXPECT_EQ(t.version_count(), s.version_count());
+  EXPECT_FALSE(t.get_latest(999).has_value());
+
+  // Canonical bytes: re-encoding the installed copy is bit-identical.
+  util::Writer w2;
+  t.encode(w2);
+  EXPECT_EQ(w1.data(), w2.data());
 }
 
 }  // namespace

@@ -24,6 +24,13 @@ break that property:
                       (`[m]` or `[m2 = m]`) — capture by std::move instead;
                       a copy re-counts the payload on every scheduled
                       delivery and hides accidental fan-out copies.
+  cert-index-iteration (certification index files only) any hash-order
+                      iteration in src/storage/cert_index.*: FlatTable
+                      for_each(), or any std::unordered_{map,set} use. The
+                      index is probe-only by contract — per-key probes are
+                      deterministic, but walking a hash table could leak
+                      probe order into certification verdicts, the one
+                      thing every replica must compute identically.
 
 Heuristic by design: it flags candidates, and provably order-insensitive
 uses are recorded in tools/lint_determinism_allow.txt with a justification.
@@ -67,6 +74,11 @@ RANDOM_PATTERNS = [
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
 RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:\w+(?:\.|->|::))*(\w+)\s*\)")
 LINE_COMMENT = re.compile(r"//.*$")
+
+# Certification-index-only rule: the index must stay probe-only.
+CERT_INDEX_FILE = re.compile(r"(^|/)cert_index\.(?:h|cpp)$")
+FOR_EACH_CALL = re.compile(r"\.\s*for_each\s*\(|\bfor_each\s*\(")
+UNORDERED_TOKEN = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 
 # src/sim-only rules (the fabric hot path).
 STD_FUNCTION = re.compile(r"\bstd::function\s*<")
@@ -179,6 +191,17 @@ def scan_file(path: Path, rel: str, unordered_names: set[str]) -> list[Finding]:
                     Finding(rel, lineno, "unordered-iteration", name,
                             f"range-for over unordered container `{name}` — iteration order can "
                             "leak into protocol state; use an ordered container or sort first"))
+        if CERT_INDEX_FILE.search(rel):
+            for m in FOR_EACH_CALL.finditer(line):
+                findings.append(
+                    Finding(rel, lineno, "cert-index-iteration", "for_each",
+                            "hash-order iteration in the certification index — the index is "
+                            "probe-only; per-key probes are fine, table walks are not"))
+            for m in UNORDERED_TOKEN.finditer(line):
+                findings.append(
+                    Finding(rel, lineno, "cert-index-iteration", m.group(0),
+                            f"`{m.group(0)}` in the certification index — use the probe-only "
+                            "FlatTable (storage/flat_table.h); no iterable hash containers here"))
         if rel.startswith("src/sim/"):
             for m in STD_FUNCTION.finditer(line):
                 findings.append(
