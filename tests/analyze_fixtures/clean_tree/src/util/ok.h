@@ -1,0 +1,8 @@
+// Fixture: a tree with nothing to report — the analyzer must exit 0.
+#pragma once
+
+namespace util {
+
+inline uint64_t add(uint64_t a, uint64_t b) { return a + b; }
+
+}  // namespace util

@@ -1,0 +1,9 @@
+// Legacy-pin fixture: bare rand().
+
+namespace paxos {
+
+int pin_entropy() {
+  return rand();
+}
+
+}  // namespace paxos

@@ -1,0 +1,8 @@
+// Legacy-pin fixture: pointer-keyed container.
+
+namespace pdur {
+
+struct Lane;
+using LaneOrder = std::map<const Lane*, int>;
+
+}  // namespace pdur

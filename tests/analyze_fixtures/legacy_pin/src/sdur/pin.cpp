@@ -1,0 +1,16 @@
+// Legacy-pin fixture: unordered member iterated by name, plus srand.
+
+namespace sdur {
+
+struct PinState {
+  std::unordered_map<uint64_t, int> counts_;
+};
+
+void pin_dump(const PinState& s) {
+  for (const auto& kv : s.counts_) {
+    use(kv);
+  }
+  srand(7);
+}
+
+}  // namespace sdur

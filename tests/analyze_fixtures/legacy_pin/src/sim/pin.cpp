@@ -1,0 +1,23 @@
+// Legacy-pin fixture: constructs the legacy regex linter handles
+// correctly (single-line, outside strings/comments). The selftest pins
+// the migrated rules against the legacy linter's recorded findings on
+// this tree, line for line.
+
+namespace sim {
+
+uint64_t pin_now() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return 0;
+}
+
+std::function<void()> pin_cb;
+
+void pin_schedule(Message m) {
+  auto a = [m] { deliver(m); };
+  auto b = [m2 = m] { deliver(m2); };
+  (void)a;
+  (void)b;
+}
+
+}  // namespace sim

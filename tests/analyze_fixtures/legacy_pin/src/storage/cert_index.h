@@ -1,0 +1,13 @@
+// Legacy-pin fixture: probe-only index contract violations.
+#pragma once
+
+namespace storage {
+
+struct PinIndex {
+  std::unordered_map<uint64_t, int> table_;
+  void walk() const {
+    probe_.for_each([](uint64_t) {});
+  }
+};
+
+}  // namespace storage

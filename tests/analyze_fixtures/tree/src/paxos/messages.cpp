@@ -1,0 +1,33 @@
+// Fixture: symmetry across helper pairs and loops. put_entry/get_entry
+// mirror (negative); the batch codec's decoder loop reads a bare u64
+// where the encoder loop used the helper (positive, inside the loop).
+
+namespace paxos {
+
+void put_entry(Writer& w, const Entry& e) {
+  w.u64(e.slot);
+  w.bytes(e.value);
+}
+Entry get_entry(Reader& r) {
+  Entry e;
+  e.slot = r.u64();
+  e.value = r.bytes();
+  return e;
+}
+
+void encode_batch(Writer& w, const Batch& b) {
+  w.varint(b.entries.size());
+  for (const Entry& e : b.entries) {
+    put_entry(w, e);
+  }
+}
+Batch decode_batch(Reader& r) {
+  Batch b;
+  uint64_t n = r.varint();
+  for (uint64_t i = 0; i < n; ++i) {
+    b.slots.push_back(r.u64());  // skew: encoder used put_entry per element
+  }
+  return b;
+}
+
+}  // namespace paxos

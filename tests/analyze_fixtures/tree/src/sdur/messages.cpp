@@ -1,0 +1,52 @@
+// Fixture: encode/decode symmetry. GoodMsg mirrors (negative); SkewMsg
+// reorders fields, WidthMsg narrows a width, CountMsg drops a field
+// (positives); LoneMsg has no decoder (warning).
+
+namespace sdur {
+
+void GoodMsg::encode(Writer& w) const {
+  w.u64(txid);
+  w.varint(round);
+  w.bytes(payload);
+}
+GoodMsg GoodMsg::decode(Reader& r) {
+  GoodMsg m;
+  m.txid = r.u64();
+  m.round = r.varint();
+  m.payload = r.bytes();
+  return m;
+}
+
+void SkewMsg::encode(Writer& w) const {
+  w.u32(part);
+  w.u64(txid);
+}
+SkewMsg SkewMsg::decode(Reader& r) {
+  SkewMsg m;
+  m.txid = r.u64();  // skew: encoder wrote the u32 part id first
+  m.part = r.u32();
+  return m;
+}
+
+void WidthMsg::encode(Writer& w) const {
+  w.u32(epoch);
+}
+WidthMsg WidthMsg::decode(Reader& r) {
+  WidthMsg m;
+  m.epoch = r.u64();  // skew: four bytes written, eight read
+  return m;
+}
+
+void CountMsg::encode(Writer& w) const {
+  w.u64(txid);
+  w.u8(flags);  // skew: never read back
+}
+CountMsg CountMsg::decode(Reader& r) {
+  CountMsg m;
+  m.txid = r.u64();
+  return m;
+}
+
+void LoneMsg::encode(Writer& w) const { w.u8(tag); }
+
+}  // namespace sdur

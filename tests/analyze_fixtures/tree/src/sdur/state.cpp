@@ -1,0 +1,16 @@
+// Fixture: range-for with a structured binding over an unordered member
+// (positive — legacy regex missed structured bindings) and over an
+// ordered map (negative).
+
+namespace sdur {
+
+void dump(const State& s) {
+  for (const auto& [txid, votes] : s.pending_votes_) {  // positive
+    use(txid, votes);
+  }
+  for (const auto& [txid, seq] : s.applied_) {  // negative: ordered
+    use(txid, seq);
+  }
+}
+
+}  // namespace sdur

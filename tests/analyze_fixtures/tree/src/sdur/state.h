@@ -1,0 +1,15 @@
+// Fixture: a multi-line unordered_map member declaration — the legacy
+// line-based linter never collected `pending_votes_`, so iterating it
+// was a silent false negative.
+#pragma once
+
+namespace sdur {
+
+struct State {
+  std::unordered_map<uint64_t,
+                     std::vector<uint64_t>>
+      pending_votes_;
+  std::map<uint64_t, uint64_t> applied_;  // ordered: iteration is fine
+};
+
+}  // namespace sdur

@@ -1,0 +1,37 @@
+// Fixture: wall-clock / unseeded-random / hotpath-std-function /
+// message-copy-capture positives, plus the string/comment negatives the
+// legacy regex linter got wrong.
+
+namespace sim {
+
+// negative: std::chrono::steady_clock and rand() in a comment must not fire
+/* block comment negative: srand(7); std::random_device rd; */
+static const char* kDoc = "std::chrono::steady_clock";
+static const char* kRaw = R"(rand() srand(7) time(NULL) std::random_device)";
+
+uint64_t bad_now() {
+  auto t = std::chrono::steady_clock::now();  // positive: wall-clock
+  (void)t;
+  return time(nullptr);  // positive: wall-clock
+}
+
+int bad_entropy() {
+  std::random_device rd;  // positive: unseeded-random
+  srand(42);              // positive: unseeded-random
+  return rand();          // positive: unseeded-random
+}
+
+std::function<void()> stored_cb;  // positive: hotpath-std-function
+
+void schedule(Message m) {
+  auto a = [m] { deliver(m); };  // positive: copy capture of `m`
+  auto b = [
+      m2 = m,
+      seq = next_seq()
+  ] { deliver(m2, seq); };       // positive: multi-line init-capture copy
+  auto c = [&m] { touch(m); };   // negative: by-ref capture
+  auto d = [m3 = std::move(m)] { deliver(m3); };  // negative: move capture
+  (void)a; (void)b; (void)c; (void)d;
+}
+
+}  // namespace sim

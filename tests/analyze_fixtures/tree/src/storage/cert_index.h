@@ -1,0 +1,15 @@
+// Fixture: the certification index is probe-only — any for_each() walk
+// or unordered container in a cert_index.* file is a finding, and the
+// rule accepts no allowlist entries.
+#pragma once
+
+namespace storage {
+
+struct CertIndexFixture {
+  std::unordered_map<uint64_t, int> dup_;  // positive: unordered container here
+  void walk() const {
+    probe_.for_each([](uint64_t) {});  // positive: table walk
+  }
+};
+
+}  // namespace storage

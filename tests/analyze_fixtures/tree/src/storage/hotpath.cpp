@@ -1,0 +1,29 @@
+// Fixture: hot-path hygiene. `conflicts_*` bodies are hot; `rebuild` is
+// not, so identical constructs there must stay silent.
+
+namespace storage {
+
+bool Window::conflicts_scan(const KeySet& reads) const {
+  KeySet tmp = reads;                     // positive: container deep-copy
+  auto* node = new Node();                // positive: hotpath-alloc
+  auto owned = std::make_unique<Node>();  // positive: hotpath-alloc
+  if (reads.empty()) {
+    throw std::logic_error("empty");      // positive: hotpath-throw
+  }
+  return check(tmp, node, owned.get());
+}
+
+bool Window::conflicts_indexed(KeySet reads) const {  // positive: by-value param
+  const KeySet& ref = reads;           // negative: reference
+  KeySet projected = project(reads);   // negative: move from a call
+  return probe(ref, projected);
+}
+
+void Window::rebuild() {
+  KeySet copy = snapshot_;  // negative: not a hot function
+  auto* scratch = new Node();
+  (void)copy;
+  (void)scratch;
+}
+
+}  // namespace storage

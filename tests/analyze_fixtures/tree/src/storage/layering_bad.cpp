@@ -1,0 +1,8 @@
+// Fixture: storage sits below sdur in the layering DAG — this include
+// inverts the dependency and must be a finding.
+#include "sdur/server.h"
+#include "util/bytes.h"
+
+namespace storage {
+void poke_upward() {}
+}  // namespace storage

@@ -1,0 +1,11 @@
+// Fixture: pointer-key positives and negatives.
+#pragma once
+
+namespace storage {
+
+struct Slot;
+using SlotOrder = std::map<const Slot*, int>;  // positive: pointer key
+using Names = std::set<const char*>;           // negative: char* is exempt
+using ById = std::map<uint64_t, const Slot*>;  // negative: pointer value, not key
+
+}  // namespace storage

@@ -1,0 +1,5 @@
+// Fixture: half of an #include cycle (with cycle_b.h).
+#pragma once
+#include "util/cycle_b.h"
+
+struct CycleA {};

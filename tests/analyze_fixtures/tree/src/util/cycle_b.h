@@ -1,0 +1,5 @@
+// Fixture: other half of the #include cycle with cycle_a.h.
+#pragma once
+#include "util/cycle_a.h"
+
+struct CycleB {};

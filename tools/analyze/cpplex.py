@@ -1,0 +1,201 @@
+"""Token-accurate C++ lexer for the SDUR static analyzer.
+
+This is deliberately not a full C++ front end: it produces the token
+stream a lint rule needs to reason about real code without the
+false-positive classes a regex scanner suffers from. In particular it
+understands
+
+  * line comments and (multi-line) block comments,
+  * string literals with escapes and prefixes (u8"", L"", ...),
+  * raw string literals R"delim(...)delim" of any delimiter,
+  * character literals,
+  * preprocessor directives (one token per directive, honoring
+    backslash-newline continuations) — #include targets are recoverable
+    from the directive text,
+  * identifiers, numbers (pp-number rules: hex, exponents, digit
+    separators), and punctuation.
+
+Comments are dropped from the stream; string/char literals are kept as
+single tokens of kind "str"/"char" so rules never match inside them.
+Only `::` and `->` are fused into multi-character punctuation tokens:
+`>` is never fused into `>>`, which keeps template-argument bracket
+matching trivial for the rules that need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TOK_IDENT = "ident"
+TOK_NUM = "num"
+TOK_STR = "str"
+TOK_CHAR = "char"
+TOK_PUNCT = "punct"
+TOK_PP = "pp"  # a whole preprocessor directive
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact, for selftest diffs
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+_STR_PREFIXES = {"u8", "u", "U", "L"}
+
+
+class LexError(ValueError):
+    def __init__(self, line: int, what: str):
+        super().__init__(f"line {line}: {what}")
+        self.line = line
+
+
+def lex(text: str) -> list[Token]:
+    """Lexes `text` into a list of Tokens. Never raises on merely odd
+    code — unterminated literals are closed at end of input so a single
+    broken file cannot take the whole analysis down."""
+    toks: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def take_string(j: int) -> int:
+        """Consumes a quoted literal starting at the quote text[j]; returns
+        the index past the closing quote."""
+        quote = text[j]
+        j += 1
+        while j < n:
+            c = text[j]
+            if c == "\\":
+                j += 2
+                continue
+            if c == quote or c == "\n":  # unterminated: stop at newline
+                return j + 1 if c == quote else j
+            j += 1
+        return j
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                i = n if j < 0 else j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                if j < 0:
+                    line += text.count("\n", i)
+                    i = n
+                else:
+                    line += text.count("\n", i, j)
+                    i = j + 2
+                continue
+
+        # Preprocessor directive: '#' first on the line; consume through
+        # backslash-newline continuations.
+        if c == "#" and at_line_start:
+            start, start_line = i, line
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                if text[j - 1 : j] == "\\":
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j  # leave the newline for the main loop
+                break
+            toks.append(Token(TOK_PP, text[start:i], start_line))
+            continue
+
+        at_line_start = False
+
+        # Raw strings: (prefix)R"delim( ... )delim"
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            word = text[i:j]
+            if j < n and text[j] in "\"'":
+                prefix_ok = word in _STR_PREFIXES or word in {"R", "u8R", "uR", "UR", "LR"}
+                if prefix_ok and text[j] == '"' and word.endswith("R"):
+                    # Raw literal: find the delimiter, then the terminator.
+                    k = text.find("(", j + 1)
+                    if k < 0:
+                        k = n
+                    delim = text[j + 1 : k]
+                    end = text.find(")" + delim + '"', k)
+                    end = n if end < 0 else end + len(delim) + 2
+                    toks.append(Token(TOK_STR, text[i:end], line))
+                    line += text.count("\n", i, end)
+                    i = end
+                    continue
+                if prefix_ok:
+                    end = take_string(j)
+                    kind = TOK_STR if text[j] == '"' else TOK_CHAR
+                    toks.append(Token(kind, text[i:end], line))
+                    i = end
+                    continue
+            toks.append(Token(TOK_IDENT, word, line))
+            i = j
+            continue
+
+        if c == '"':
+            end = take_string(i)
+            toks.append(Token(TOK_STR, text[i:end], line))
+            i = end
+            continue
+        if c == "'":
+            end = take_string(i)
+            toks.append(Token(TOK_CHAR, text[i:end], line))
+            i = end
+            continue
+
+        # Numbers (pp-number: digits, hex, exponents, ' separators, and a
+        # leading '.5' form).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d in _IDENT_CONT or d in ".'":
+                    j += 1
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            toks.append(Token(TOK_NUM, text[i:j], line))
+            i = j
+            continue
+
+        # Punctuation: fuse only '::' and '->'.
+        if c == ":" and i + 1 < n and text[i + 1] == ":":
+            toks.append(Token(TOK_PUNCT, "::", line))
+            i += 2
+            continue
+        if c == "-" and i + 1 < n and text[i + 1] == ">":
+            toks.append(Token(TOK_PUNCT, "->", line))
+            i += 2
+            continue
+        toks.append(Token(TOK_PUNCT, c, line))
+        i += 1
+
+    return toks

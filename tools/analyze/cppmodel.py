@@ -1,0 +1,346 @@
+"""Per-file token/declaration model built on the cpplex token stream.
+
+A FileModel owns the token list for one translation unit plus the
+derived facts rules ask about:
+
+  * quoted #include targets (with their lines),
+  * names declared as std::unordered_{map,set} (declarations may span
+    lines — the token stream doesn't care),
+  * range-based for statements and the container name they iterate
+    (structured bindings `for (auto& [k, v] : m_)` included),
+  * lambda capture lists (multi-line included) split into items,
+  * function definitions: qualified name, parameter tokens, body tokens —
+    the unit the symmetry and hot-path rules reason over.
+
+Everything here is heuristic-but-token-accurate: matches can never come
+from inside a string literal or comment, and balanced-bracket tracking
+replaces the single-line regexes of the legacy linter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from cpplex import TOK_IDENT, TOK_PP, TOK_PUNCT, Token, lex
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# Keywords that can be followed by '(' but never name a function.
+_NON_FUNC_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "new", "delete", "throw", "case", "do",
+    "else", "noexcept", "alignas", "typeid", "co_await", "co_return",
+}
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+_CLOSE = {")": "(", "]": "[", "}": "{"}
+
+
+@dataclass
+class Include:
+    target: str  # the quoted path, e.g. "sdur/messages.h"
+    line: int
+
+
+@dataclass
+class RangeFor:
+    line: int
+    container: str  # last identifier of the range expression chain
+
+
+@dataclass
+class CaptureItem:
+    line: int
+    name: str        # captured (or init-capture) name
+    init: list[Token] | None  # tokens right of '=' for init-captures, else None
+    by_ref: bool
+
+
+@dataclass
+class FunctionDef:
+    name: str            # unqualified name, e.g. "decode"
+    qualifier: str       # enclosing-scope qualifier, e.g. "VoteMsg" ("" if free)
+    line: int
+    params: list[Token]  # tokens between the parameter parens
+    body: list[Token]    # tokens between the body braces (exclusive)
+
+
+def skip_balanced(tokens: list[Token], i: int, open_ch: str) -> int:
+    """`tokens[i]` is `open_ch`; returns the index just past its matching
+    close token, or len(tokens) if unbalanced."""
+    close = _OPEN[open_ch]
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == open_ch:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(tokens)
+
+
+def skip_template_args(tokens: list[Token], i: int, limit: int = 256) -> int:
+    """`tokens[i]` is '<' opening a template argument list; returns the
+    index just past the matching '>'. Angle brackets are counted
+    individually (the lexer never fuses '>>'); parens/brackets inside the
+    argument list are skipped as units, and a sanity bound plus ';'/'{'
+    cutoffs keep a stray comparison operator from eating the file."""
+    depth = 0
+    j = i
+    end = min(i + limit, len(tokens))
+    while j < end:
+        t = tokens[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t in ("(", "["):
+            j = skip_balanced(tokens, j, t)
+            continue
+        elif t in (";", "{"):
+            break  # clearly not a template argument list
+        j += 1
+    return len(tokens)
+
+
+def first_template_arg(tokens: list[Token], i: int) -> list[Token]:
+    """`tokens[i]` is '<'; returns the tokens of the first template
+    argument (up to a top-level ',' or the matching '>')."""
+    end = skip_template_args(tokens, i)
+    depth = 0
+    out: list[Token] = []
+    for j in range(i + 1, end - 1):
+        t = tokens[j].text
+        if t in "<([":
+            depth += 1
+        elif t in ">)]":
+            depth -= 1
+        elif t == "," and depth == 0:
+            break
+        out.append(tokens[j])
+    return out
+
+
+def spell(tokens: list[Token]) -> str:
+    """Human-readable spelling of a token run: identifiers separated by
+    spaces, punctuation fused — `const Slot*`, `std::vector<int>`."""
+    out = ""
+    for t in tokens:
+        if out and out[-1].isalnum() and (t.text[0].isalnum() or t.text[0] == "_"):
+            out += " "
+        out += t.text
+    return out
+
+
+class FileModel:
+    def __init__(self, path: Path, rel: str, text: str | None = None):
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text() if text is None else text
+        self.tokens: list[Token] = lex(self.text)
+        self._includes: list[Include] | None = None
+        self._functions: list[FunctionDef] | None = None
+
+    # ---- preprocessor ----
+
+    @property
+    def includes(self) -> list[Include]:
+        if self._includes is None:
+            self._includes = []
+            for t in self.tokens:
+                if t.kind != TOK_PP:
+                    continue
+                m = _INCLUDE_RE.match(t.text)
+                if m:
+                    self._includes.append(Include(m.group(1), t.line))
+        return self._includes
+
+    # ---- declarations ----
+
+    def unordered_decl_names(self) -> set[str]:
+        """Names declared as std::unordered_{map,set} anywhere in the file
+        (members, locals, parameters); multi-line declarations are free."""
+        names: set[str] = set()
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.kind != TOK_IDENT or t.text not in ("unordered_map", "unordered_set"):
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "<":
+                continue
+            j = skip_template_args(toks, i + 1)
+            if j >= len(toks):
+                continue
+            if toks[j].text == "::":  # unordered_map<...>::iterator etc.
+                continue
+            k = j
+            if k < len(toks) and toks[k].text == "&":
+                k += 1
+            if k + 1 < len(toks) and toks[k].kind == TOK_IDENT \
+                    and toks[k + 1].text in (";", "=", "{", ",", ")"):
+                names.add(toks[k].text)
+        return names
+
+    # ---- statements ----
+
+    def range_fors(self) -> list[RangeFor]:
+        """Range-based for statements and the container identifier they
+        iterate. Mirrors the legacy rule's intent: the range expression
+        must be a plain identifier/member chain (calls are skipped), but
+        multi-line statements and structured bindings now work."""
+        out: list[RangeFor] = []
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.kind != TOK_IDENT or t.text != "for":
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            end = skip_balanced(toks, i + 1, "(")  # index past ')'
+            # Find the range ':' at paren depth 1, outside [] (structured
+            # bindings) and nested parens; a ';' first means a classic for.
+            depth = 0
+            colon = -1
+            for j in range(i + 1, end):
+                tj = toks[j].text
+                if tj in "([{":
+                    depth += 1
+                elif tj in ")]}":
+                    depth -= 1
+                elif depth == 1 and tj == ";":
+                    break
+                elif depth == 1 and tj == ":":
+                    colon = j
+                    break
+            if colon < 0:
+                continue
+            expr = toks[colon + 1 : end - 1]
+            if not expr or expr[-1].kind != TOK_IDENT:
+                continue  # e.g. `: foo.bar()` — a call, not a named container
+            if any(e.text in ("(", "[") for e in expr):
+                continue
+            out.append(RangeFor(expr[-1].line, expr[-1].text))
+        return out
+
+    def lambda_captures(self) -> list[list[CaptureItem]]:
+        """Capture lists of every lambda in the file (multi-line capture
+        lists included). Subscripts and attributes are filtered out by
+        looking at the token before '[' and after the matching ']'."""
+        out: list[list[CaptureItem]] = []
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.text != "[" or t.kind != TOK_PUNCT:
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            if prev is not None and (prev.kind == TOK_IDENT and prev.text not in
+                                     ("return", "case", "mutable") or prev.text in ("]", ")")):
+                continue  # subscript: ident[...] / )[...] / ][...]
+            end = skip_balanced(toks, i, "[")  # index past ']'
+            if end >= len(toks):
+                continue
+            nxt = toks[end].text
+            if nxt not in ("(", "{", "->") and nxt != "mutable":
+                continue
+            inner = toks[i + 1 : end - 1]
+            if inner and inner[0].text == "[":
+                continue  # [[attribute]]
+            items: list[CaptureItem] = []
+            for run in _split_top_level(inner):
+                if not run:
+                    continue
+                by_ref = run[0].text == "&"
+                if by_ref:
+                    run = run[1:]
+                if not run or run[0].kind != TOK_IDENT:
+                    continue  # '=', '*this', ...
+                name = run[0].text
+                init = None
+                if len(run) >= 2 and run[1].text == "=":
+                    init = run[2:]
+                items.append(CaptureItem(run[0].line, name, init, by_ref))
+            out.append(items)
+        return out
+
+    # ---- functions ----
+
+    @property
+    def functions(self) -> list[FunctionDef]:
+        """Function definitions (free functions, class methods defined
+        inline or out of line). Heuristic: `name ( params ) [const|noexcept|
+        -> type]* {`, where `name` is not a control keyword; the scan
+        resumes past each body, so lambdas inside bodies are not listed."""
+        if self._functions is not None:
+            return self._functions
+        funcs: list[FunctionDef] = []
+        toks = self.tokens
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.text != "(" or t.kind != TOK_PUNCT or i == 0:
+                i += 1
+                continue
+            name_tok = toks[i - 1]
+            if name_tok.kind != TOK_IDENT or name_tok.text in _NON_FUNC_KEYWORDS:
+                i += 1
+                continue
+            close = skip_balanced(toks, i, "(")  # index past ')'
+            if close >= len(toks):
+                break
+            # Allow trailing `const`, `noexcept(...)`, `override`, `-> T<...>`.
+            j = close
+            ok = True
+            while j < len(toks) and toks[j].text != "{":
+                tj = toks[j]
+                if tj.kind == TOK_IDENT and tj.text in ("const", "noexcept", "override", "final"):
+                    j += 1
+                elif tj.text == "(":
+                    j = skip_balanced(toks, j, "(")
+                elif tj.text == "->":
+                    j += 1
+                    while j < len(toks) and (toks[j].kind == TOK_IDENT or toks[j].text == "::"):
+                        j += 1
+                    if j < len(toks) and toks[j].text == "<":
+                        j = skip_template_args(toks, j)
+                else:
+                    ok = False
+                    break
+            if not ok or j >= len(toks):
+                i += 1
+                continue
+            body_end = skip_balanced(toks, j, "{")  # index past '}'
+            qualifier = ""
+            if i >= 3 and toks[i - 2].text == "::" and toks[i - 3].kind == TOK_IDENT:
+                qualifier = toks[i - 3].text
+            funcs.append(FunctionDef(
+                name=name_tok.text,
+                qualifier=qualifier,
+                line=name_tok.line,
+                params=toks[i + 1 : close - 1],
+                body=toks[j + 1 : body_end - 1],
+            ))
+            i = body_end
+        self._functions = funcs
+        return funcs
+
+
+def _split_top_level(tokens: list[Token]) -> list[list[Token]]:
+    """Splits a token run on commas not nested in (), [], {} or <>."""
+    out: list[list[Token]] = []
+    cur: list[Token] = []
+    depth = 0
+    for t in tokens:
+        if t.text in "<([{":
+            depth += 1
+        elif t.text in ">)]}":
+            depth -= 1
+        if t.text == "," and depth == 0:
+            out.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    out.append(cur)
+    return out

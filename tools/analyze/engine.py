@@ -1,0 +1,246 @@
+"""Rule engine for the SDUR protocol-aware static analyzer.
+
+Drives every registered rule over the scanned tree, applies the
+allowlist, and renders text and/or JSON reports. The contract is the
+one the legacy determinism linter established:
+
+  * findings are `path:line: [rule] message`,
+  * provably-safe uses live in the allowlist as `path:rule:token  # why`,
+  * stale allowlist entries (matching nothing) are themselves errors,
+  * exit status: 0 clean, 1 findings/stale entries, 2 usage error.
+
+New over the legacy linter: per-rule severity (warnings are reported but
+do not fail the run), per-rule allowlist bans (rules whose contract is
+"no exceptions, by design" reject allowlist entries outright), suggested
+fixes carried on every finding, and a machine-readable `--json` report
+in the style of bench/common.h's BENCH_*.json rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from cppmodel import FileModel
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+
+EXTENSIONS = {".h", ".cpp"}
+
+# Directories the legacy determinism linter scanned; the migrated rules
+# keep this scope so their findings stay comparable, while the new
+# protocol rules see all of src/.
+LEGACY_DIRS = ("src/sim/", "src/sdur/", "src/paxos/", "src/storage/", "src/pdur/")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    token: str
+    message: str
+    severity: str = SEV_ERROR
+    suggestion: str = ""
+    allowlisted: bool = False
+
+    def key(self) -> str:
+        return f"{self.path}:{self.rule}:{self.token}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Rule:
+    """A pluggable check. `run(ctx)` yields Findings for the whole tree
+    (rules decide per-file applicability themselves via ctx.models)."""
+    name: str
+    description: str
+    run: object  # callable(Context) -> iterable[Finding]
+    severity: str = SEV_ERROR
+    no_allowlist: bool = False  # entries for this rule are rejected
+    suggestion: str = ""
+
+
+class Context:
+    """What rules get to see: the scan root and every lexed file."""
+
+    def __init__(self, root: Path, models: list[FileModel]):
+        self.root = root
+        self.models = models
+        self._unordered_names: set[str] | None = None
+
+    def legacy_models(self) -> list[FileModel]:
+        return [m for m in self.models if m.rel.startswith(LEGACY_DIRS)]
+
+    def unordered_names(self) -> set[str]:
+        """Container names declared unordered anywhere in the legacy scan
+        dirs (members are declared in headers but iterated in .cpp)."""
+        if self._unordered_names is None:
+            names: set[str] = set()
+            for m in self.legacy_models():
+                names |= m.unordered_decl_names()
+            self._unordered_names = names
+        return self._unordered_names
+
+
+@dataclass
+class AllowEntry:
+    key: str
+    comment: str
+    line: int
+    used: int = 0
+
+
+@dataclass
+class Report:
+    root: Path
+    files: int
+    findings: list[Finding]
+    stale: list[AllowEntry]
+    bad_entries: list[str]  # allowlist entries that are not permitted at all
+    rules: list[Rule]
+    allowlist_path: Path | None
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings
+                if f.severity == SEV_ERROR and not f.allowlisted]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings
+                if f.severity == SEV_WARNING and not f.allowlisted]
+
+    @property
+    def failures(self) -> int:
+        return len(self.errors) + len(self.stale) + len(self.bad_entries)
+
+
+def load_allowlist(path: Path | None) -> list[AllowEntry]:
+    entries: list[AllowEntry] = []
+    if path is None or not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        body, _, comment = raw.partition("#")
+        body = body.strip()
+        if body:
+            entries.append(AllowEntry(body, comment.strip(), lineno))
+    return entries
+
+
+def collect_files(root: Path, subdir: str = "src") -> list[Path]:
+    base = root / subdir
+    if not base.is_dir():
+        raise FileNotFoundError(f"missing scan dir {base}")
+    return [p for p in sorted(base.rglob("*")) if p.suffix in EXTENSIONS]
+
+
+def run_analysis(root: Path, rules: list[Rule],
+                 allowlist_path: Path | None = None,
+                 rule_filter: set[str] | None = None) -> Report:
+    """Lexes the tree once, runs every (selected) rule, applies the
+    allowlist. Raises FileNotFoundError if root/src is missing."""
+    files = collect_files(root)
+    models = [FileModel(p, p.relative_to(root).as_posix()) for p in files]
+    ctx = Context(root, models)
+
+    selected = [r for r in rules if rule_filter is None or r.name in rule_filter]
+    findings: list[Finding] = []
+    for rule in selected:
+        for f in rule.run(ctx):
+            f.severity = f.severity or rule.severity
+            if not f.suggestion:
+                f.suggestion = rule.suggestion
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.token))
+
+    entries = load_allowlist(allowlist_path)
+    no_allow_rules = {r.name for r in rules if r.no_allowlist}
+    bad_entries: list[str] = []
+    by_key: dict[str, AllowEntry] = {}
+    for e in entries:
+        parts = e.key.split(":")
+        rule_name = parts[1] if len(parts) >= 3 else ""
+        if rule_name in no_allow_rules:
+            bad_entries.append(
+                f"allowlist entry `{e.key}` is not permitted: rule `{rule_name}` "
+                f"accepts no exceptions by design")
+            continue
+        by_key[e.key] = e
+    for f in findings:
+        e = by_key.get(f.key())
+        if e is not None:
+            e.used += 1
+            f.allowlisted = True
+    stale = [e for e in by_key.values() if e.used == 0]
+
+    return Report(root=root, files=len(files), findings=findings, stale=stale,
+                  bad_entries=bad_entries, rules=selected,
+                  allowlist_path=allowlist_path)
+
+
+def render_text(report: Report, out) -> None:
+    for f in report.findings:
+        if f.allowlisted:
+            continue
+        prefix = "error" if f.severity == SEV_ERROR else "warning"
+        print(f"{prefix}: {f}", file=out)
+        if f.suggestion:
+            print(f"    fix: {f.suggestion}", file=out)
+    for e in report.stale:
+        print(f"error: stale allowlist entry `{e.key}` matches nothing "
+              f"({report.allowlist_path})", file=out)
+    for msg in report.bad_entries:
+        print(f"error: {msg}", file=out)
+
+
+def render_summary(report: Report, out) -> None:
+    allowed = sum(1 for f in report.findings if f.allowlisted)
+    if report.failures:
+        name = report.allowlist_path.name if report.allowlist_path else "the allowlist"
+        print(f"analyze: {report.failures} failure(s) "
+              f"({len(report.errors)} finding(s), {len(report.stale)} stale + "
+              f"{len(report.bad_entries)} rejected allowlist entr(ies)). "
+              f"Fix the code or, if the use is provably safe, add "
+              f"`path:rule:token  # why` to {name}.", file=out)
+    else:
+        print(f"analyze: {report.files} files clean over {len(report.rules)} rule(s) "
+              f"({allowed} allowlisted use(s), {len(report.warnings)} warning(s))",
+              file=out)
+
+
+def to_json(report: Report) -> dict:
+    return {
+        "tool": "analyze",
+        "schema": 1,
+        "root": str(report.root),
+        "files_scanned": report.files,
+        "rules": [{"name": r.name, "description": r.description,
+                   "severity": r.severity, "no_allowlist": r.no_allowlist}
+                  for r in report.rules],
+        "findings": [{
+            "path": f.path, "line": f.line, "rule": f.rule, "token": f.token,
+            "severity": f.severity, "message": f.message,
+            "suggestion": f.suggestion, "allowlisted": f.allowlisted,
+        } for f in report.findings],
+        "allowlist": {
+            "path": str(report.allowlist_path) if report.allowlist_path else None,
+            "stale": [e.key for e in report.stale],
+            "rejected": list(report.bad_entries),
+        },
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "stale_allowlist_entries": len(report.stale),
+            "clean": report.failures == 0,
+        },
+    }
+
+
+def write_json(report: Report, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_json(report), indent=1, sort_keys=True) + "\n")

@@ -1,0 +1,161 @@
+"""Hot-path hygiene for the certification fast path.
+
+Certification runs once per delivered transaction on every replica — the
+per-delivery cost IS the replica's throughput ceiling (see
+bench/cert_perf). These rules keep allocation and exception machinery
+out of the functions on that path:
+
+  hotpath-alloc          `new` / make_unique / make_shared in a hot body.
+  hotpath-container-copy a container deep-copied in a hot body: a
+                         container-typed local copy-initialized from an
+                         lvalue chain, or a container parameter taken by
+                         value. Move-inits from a call/std::move are fine.
+  hotpath-throw          `throw` in a hot body: in audit-off builds
+                         (benchmark configuration) these paths must
+                         report verdicts, not unwind.
+
+Hot functions are matched by name, per the certification call graph:
+`certify*`, anything containing `conflict` (conflicts_*, scan_conflict,
+indexed_conflict, has_conflict, reads_conflict, writes_conflict), and
+`scan_after`. Scope: the protocol dirs (src/{sim,sdur,paxos,storage,
+pdur}) — workload/audit tooling may allocate freely.
+"""
+
+from __future__ import annotations
+
+from cpplex import TOK_IDENT, Token
+from cppmodel import FunctionDef, skip_balanced, skip_template_args, _split_top_level
+from engine import Context, Finding, Rule
+
+_CONTAINERS = {"vector", "deque", "string", "map", "set", "unordered_map",
+               "unordered_set", "KeySet", "Bytes", "Value"}
+_ALLOC_CALLS = {"make_unique", "make_shared"}
+_CHAIN_OK = {".", "->", "::"}
+
+
+def _is_hot(name: str) -> bool:
+    return name == "scan_after" or name.startswith("certify") or "conflict" in name
+
+
+def _is_lvalue_chain(tokens: list[Token]) -> bool:
+    """True for a plain identifier/member chain (`probe.keys`, `s_->rs_`):
+    copying from it deep-copies the container. Calls, moves, literals and
+    arithmetic are not flagged."""
+    if not tokens:
+        return False
+    for t in tokens:
+        if t.kind != TOK_IDENT and t.text not in _CHAIN_OK:
+            return False
+    return tokens[-1].kind == TOK_IDENT
+
+
+def _container_decl_copies(fn: FunctionDef, rel: str):
+    toks = fn.body
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != TOK_IDENT or t.text not in _CONTAINERS:
+            i += 1
+            continue
+        j = i + 1
+        if j < n and toks[j].text == "<":
+            j = skip_template_args(toks, j)
+        if j < n and toks[j].text in ("&", "*"):
+            i = j  # reference/pointer: never a copy
+            continue
+        if j >= n or toks[j].kind != TOK_IDENT:
+            i += 1
+            continue
+        name_tok = toks[j]
+        k = j + 1
+        init: list[Token] | None = None
+        if k < n and toks[k].text == "=":
+            init = []
+            depth = 0
+            k += 1
+            while k < n:
+                txt = toks[k].text
+                if txt in "([{":
+                    depth += 1
+                elif txt in ")]}":
+                    depth -= 1
+                elif txt == ";" and depth == 0:
+                    break
+                init.append(toks[k])
+                k += 1
+        elif k < n and toks[k].text in ("(", "{"):
+            close = skip_balanced(toks, k, toks[k].text)
+            init = toks[k + 1 : close - 1]
+            # multiple constructor args: not a plain copy
+            if any(tt.text == "," for tt in init):
+                init = None
+        if init is not None and _is_lvalue_chain(init):
+            yield Finding(
+                rel, name_tok.line, "hotpath-container-copy", name_tok.text,
+                f"`{name_tok.text}` deep-copies a container inside hot function "
+                f"`{fn.name}` — certification pays this per delivered transaction")
+        i = j + 1
+
+
+def _byvalue_params(fn: FunctionDef, rel: str):
+    for run in _split_top_level(fn.params):
+        if not run:
+            continue
+        has_container = any(t.kind == TOK_IDENT and t.text in _CONTAINERS for t in run)
+        if not has_container:
+            continue
+        if any(t.text in ("&", "*") for t in run):
+            continue
+        name = next((t.text for t in reversed(run) if t.kind == TOK_IDENT), "?")
+        yield Finding(
+            rel, run[0].line, "hotpath-container-copy", name,
+            f"hot function `{fn.name}` takes container parameter `{name}` by value — "
+            f"every call copies it")
+
+
+def run_hotpath_hygiene(ctx: Context):
+    for m in ctx.legacy_models():
+        for fn in m.functions:
+            if not _is_hot(fn.name):
+                continue
+            toks = fn.body
+            for i, t in enumerate(toks):
+                if t.kind != TOK_IDENT:
+                    continue
+                if t.text == "new":
+                    yield Finding(
+                        m.rel, t.line, "hotpath-alloc", "new",
+                        f"`new` inside hot function `{fn.name}` — the certification "
+                        f"path must not allocate per delivery")
+                elif t.text in _ALLOC_CALLS:
+                    yield Finding(
+                        m.rel, t.line, "hotpath-alloc", t.text,
+                        f"`{t.text}` inside hot function `{fn.name}` — the certification "
+                        f"path must not allocate per delivery")
+                elif t.text == "throw":
+                    yield Finding(
+                        m.rel, t.line, "hotpath-throw", "throw",
+                        f"`throw` inside hot function `{fn.name}` — audit-off protocol "
+                        f"paths must report verdicts, not unwind")
+            yield from _container_decl_copies(fn, m.rel)
+            yield from _byvalue_params(fn, m.rel)
+
+
+RULES = [
+    Rule("hotpath-alloc",
+         "no new/make_unique/make_shared in certify/conflicts_*/scan_after bodies",
+         lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-alloc"),
+         suggestion="preallocate outside the certification path (arena/ring "
+                    "patterns, see storage/commit_window.h)"),
+    Rule("hotpath-container-copy",
+         "no container deep-copies (locals copy-initialized from lvalues, "
+         "by-value container parameters) in hot certification bodies",
+         lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-container-copy"),
+         suggestion="take const&, or reuse a scratch buffer owned by the caller"),
+    Rule("hotpath-throw",
+         "no throwing constructs in audit-off protocol hot paths",
+         lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-throw"),
+         suggestion="return a verdict, or guard the invariant with SDUR_AUDIT_CHECK "
+                    "(compiled out in benchmark builds)"),
+]

@@ -2,7 +2,9 @@
 # Full static/dynamic analysis gate for the SDUR repo.
 #
 # Runs, in order:
-#   1. the determinism linter (tools/lint_determinism.py);
+#   1. the static analyzer (tools/analyze): determinism rules, the src/
+#      layering DAG, encode/decode symmetry and hot-path hygiene; writes
+#      a machine-readable report to bench_json/ANALYZE.json;
 #   2. clang-format / clang-tidy, when the tools exist (they are optional —
 #      the reference container ships gcc only);
 #   3. a -Werror compile of the whole tree (the warning set is
@@ -40,8 +42,10 @@ run_ctest() { # <dir> <extra ctest args...>
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" "$@")
 }
 
-bold "1/6 determinism lint"
-python3 tools/lint_determinism.py
+bold "1/6 static analysis"
+mkdir -p bench_json
+python3 tools/analyze --selftest
+python3 tools/analyze --json bench_json/ANALYZE.json
 
 bold "2/6 clang-format / clang-tidy (optional)"
 if command -v clang-format >/dev/null 2>&1; then

@@ -1,305 +1,24 @@
 #!/usr/bin/env python3
-"""Determinism linter for the SDUR simulation core.
+"""DEPRECATED shim — the determinism linter is now part of the
+token-accurate static analyzer at tools/analyze.
 
-The whole value of the simulator is that a run is a pure function of its
-seed: replicas must certify identically, and a reported result must be
-reproducible bit-for-bit. This linter scans the protocol code
-(src/sim, src/sdur, src/paxos, src/storage) for constructs that quietly
-break that property:
+The seven determinism rules (wall-clock, unseeded-random,
+unordered-iteration, pointer-key, hotpath-std-function,
+message-copy-capture, cert-index-iteration) live on there unchanged in
+name and allowlist-token form, joined by the layering DAG, encode/decode
+symmetry and hot-path hygiene rule families. The allowlist moved to
+tools/analyze_allow.txt (same `path:rule:token  # why` format, same
+stale-entry-is-error contract).
 
-  wall-clock          real-time sources (std::chrono clocks, time(),
-                      gettimeofday, ...) instead of simulated time.
-  unseeded-random     std::random_device, rand()/srand() — entropy or global
-                      PRNG state outside the seeded sim RNG.
-  unordered-iteration range-for over a std::unordered_{map,set} whose
-                      iteration order (hashing, allocation, libstdc++
-                      version) can leak into protocol decisions or
-                      serialized state.
-  pointer-key         containers keyed by pointer values — iteration order
-                      and hashes then depend on allocator addresses.
-  hotpath-std-function (src/sim only) std::function on the fabric hot path —
-                      the event loop stores sim::UniqueFn (sim/callable.h):
-                      move-only, inline storage, no per-event allocation.
-  message-copy-capture (src/sim only) lambda capture that copies a Message
-                      (`[m]` or `[m2 = m]`) — capture by std::move instead;
-                      a copy re-counts the payload on every scheduled
-                      delivery and hides accidental fan-out copies.
-  cert-index-iteration (certification index files only) any hash-order
-                      iteration in src/storage/cert_index.*: FlatTable
-                      for_each(), or any std::unordered_{map,set} use. The
-                      index is probe-only by contract — per-key probes are
-                      deterministic, but walking a hash table could leak
-                      probe order into certification verdicts, the one
-                      thing every replica must compute identically.
-
-Heuristic by design: it flags candidates, and provably order-insensitive
-uses are recorded in tools/lint_determinism_allow.txt with a justification.
-An allowlist entry has the form
-
-    <path>:<rule>:<token>       # why this is safe
-
-where <token> is the variable (unordered-iteration), the matched call
-(wall-clock / unseeded-random) or the container name (pointer-key).
-Unused allowlist entries are reported as errors so the list cannot rot.
-
-Exit status: 0 clean, 1 findings or stale allowlist entries, 2 usage error.
-Run from anywhere; paths are resolved against the repo root. Wired into
-CTest (test name: lint_determinism) and tools/check.sh.
+This shim execs `python3 tools/analyze` with the same arguments so old
+invocations keep working; switch scripts to call tools/analyze directly.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
+import os
 import sys
-from pathlib import Path
-
-SCAN_DIRS = ["src/sim", "src/sdur", "src/paxos", "src/storage", "src/pdur"]
-EXTENSIONS = {".h", ".cpp"}
-
-WALL_CLOCK_PATTERNS = [
-    r"std::chrono::(?:system|steady|high_resolution)_clock",
-    r"\bgettimeofday\s*\(",
-    r"\bclock_gettime\s*\(",
-    r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)",
-    r"\b(?:localtime|gmtime)\s*\(",
-]
-
-RANDOM_PATTERNS = [
-    r"\bstd::random_device\b",
-    r"(?<![\w.:])srand\s*\(",
-    r"(?<![\w.:])rand\s*\(\s*\)",
-]
-
-UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
-RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:\w+(?:\.|->|::))*(\w+)\s*\)")
-LINE_COMMENT = re.compile(r"//.*$")
-
-# Certification-index-only rule: the index must stay probe-only.
-CERT_INDEX_FILE = re.compile(r"(^|/)cert_index\.(?:h|cpp)$")
-FOR_EACH_CALL = re.compile(r"\.\s*for_each\s*\(|\bfor_each\s*\(")
-UNORDERED_TOKEN = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
-
-# src/sim-only rules (the fabric hot path).
-STD_FUNCTION = re.compile(r"\bstd::function\s*<")
-# A lambda capture list: require a follower that rules out array indexing.
-CAPTURE_LIST = re.compile(r"\[([^\[\]]*)\]\s*(?:\(|mutable\b|\{|->)")
-MESSAGE_NAMES = {"m", "msg", "message"}
-
-
-def split_top_level(s: str) -> list[str]:
-    """Splits on commas not nested inside <>, (), [] or {}."""
-    out: list[str] = []
-    cur: list[str] = []
-    depth = 0
-    for c in s:
-        if c in "<([{":
-            depth += 1
-        elif c in ">)]}":
-            depth -= 1
-        if c == "," and depth == 0:
-            out.append("".join(cur))
-            cur = []
-        else:
-            cur.append(c)
-    out.append("".join(cur))
-    return out
-
-
-def strip_comments(line: str) -> str:
-    """Drops // comments. Block comments and string literals are rare enough
-    in this codebase that full lexing is not worth the complexity."""
-    return LINE_COMMENT.sub("", line)
-
-
-def balanced_template_args(text: str, start: int) -> tuple[str, int]:
-    """Returns (template argument text, index past '>') for the '<' at
-    `start`."""
-    depth = 0
-    for i in range(start, len(text)):
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return text[start + 1 : i], i + 1
-    return text[start + 1 :], len(text)
-
-
-def first_template_arg(args: str) -> str:
-    depth = 0
-    for i, c in enumerate(args):
-        if c in "<([":
-            depth += 1
-        elif c in ">)]":
-            depth -= 1
-        elif c == "," and depth == 0:
-            return args[:i]
-    return args
-
-
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, token: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.token = token
-        self.message = message
-
-    def key(self) -> str:
-        return f"{self.path}:{self.rule}:{self.token}"
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def collect_unordered_names(text: str) -> set[str]:
-    """Names of variables/members declared as std::unordered_{map,set}
-    anywhere in `text` (declarations may span lines)."""
-    names: set[str] = set()
-    for m in UNORDERED_DECL.finditer(text):
-        args, after = balanced_template_args(text, m.end() - 1)
-        # The declared name follows the closing '>': "unordered_map<K, V> name"
-        decl = re.match(r"\s*&?\s*(\w+)\s*(?:;|=|\{|,|\))", text[after:])
-        if decl:
-            names.add(decl.group(1))
-    return names
-
-
-def scan_file(path: Path, rel: str, unordered_names: set[str]) -> list[Finding]:
-    findings: list[Finding] = []
-    text = path.read_text()
-    lines = text.splitlines()
-
-    for lineno, raw in enumerate(lines, 1):
-        line = strip_comments(raw)
-        for pat in WALL_CLOCK_PATTERNS:
-            for m in re.finditer(pat, line):
-                findings.append(
-                    Finding(rel, lineno, "wall-clock", m.group(0).strip(),
-                            f"real-time source `{m.group(0).strip()}` — use sim::Simulator time"))
-        for pat in RANDOM_PATTERNS:
-            for m in re.finditer(pat, line):
-                findings.append(
-                    Finding(rel, lineno, "unseeded-random", m.group(0).strip(),
-                            f"non-seeded entropy `{m.group(0).strip()}` — use the seeded util::Rng"))
-        for m in RANGE_FOR.finditer(line):
-            name = m.group(1)
-            if name in unordered_names:
-                findings.append(
-                    Finding(rel, lineno, "unordered-iteration", name,
-                            f"range-for over unordered container `{name}` — iteration order can "
-                            "leak into protocol state; use an ordered container or sort first"))
-        if CERT_INDEX_FILE.search(rel):
-            for m in FOR_EACH_CALL.finditer(line):
-                findings.append(
-                    Finding(rel, lineno, "cert-index-iteration", "for_each",
-                            "hash-order iteration in the certification index — the index is "
-                            "probe-only; per-key probes are fine, table walks are not"))
-            for m in UNORDERED_TOKEN.finditer(line):
-                findings.append(
-                    Finding(rel, lineno, "cert-index-iteration", m.group(0),
-                            f"`{m.group(0)}` in the certification index — use the probe-only "
-                            "FlatTable (storage/flat_table.h); no iterable hash containers here"))
-        if rel.startswith("src/sim/"):
-            for m in STD_FUNCTION.finditer(line):
-                findings.append(
-                    Finding(rel, lineno, "hotpath-std-function", "std::function",
-                            "std::function on the fabric hot path — use sim::UniqueFn "
-                            "(sim/callable.h): move-only, inline storage, no per-event allocation"))
-            for cap in CAPTURE_LIST.finditer(line):
-                for item in split_top_level(cap.group(1)):
-                    item = item.strip()
-                    init = re.match(r"^(\w+)\s*=\s*(.+)$", item)
-                    if init:
-                        rhs = init.group(2).strip()
-                        if (re.fullmatch(r"(?:m|msg|message)", rhs)):
-                            findings.append(
-                                Finding(rel, lineno, "message-copy-capture", init.group(1),
-                                        f"lambda copy-captures Message `{rhs}` — capture with "
-                                        "std::move to keep deliveries zero-copy"))
-                    elif item in MESSAGE_NAMES:
-                        findings.append(
-                            Finding(rel, lineno, "message-copy-capture", item,
-                                    f"lambda copy-captures Message `{item}` — capture with "
-                                    "std::move to keep deliveries zero-copy"))
-
-    # Pointer-valued keys: inspect every unordered/ordered associative decl.
-    for m in re.finditer(r"\b(?:unordered_)?(?:map|set)\s*<", text):
-        args, _ = balanced_template_args(text, m.end() - 1)
-        key_type = first_template_arg(args).strip()
-        if key_type.endswith("*") and "char" not in key_type:
-            lineno = text.count("\n", 0, m.start()) + 1
-            findings.append(
-                Finding(rel, lineno, "pointer-key", key_type,
-                        f"container keyed by pointer `{key_type}` — ordering/hash depends on "
-                        "allocator addresses"))
-    return findings
-
-
-def load_allowlist(path: Path) -> dict[str, int]:
-    """Returns {entry-key: 0}; values count how often each entry was used."""
-    entries: dict[str, int] = {}
-    if not path.exists():
-        return entries
-    for raw in path.read_text().splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if line:
-            entries[line] = 0
-    return entries
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--root", default=None, help="repo root (default: parent of this script)")
-    ap.add_argument("--allowlist", default=None,
-                    help="allowlist file (default: tools/lint_determinism_allow.txt)")
-    args = ap.parse_args()
-
-    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
-    allow_path = Path(args.allowlist) if args.allowlist else root / "tools/lint_determinism_allow.txt"
-    allow = load_allowlist(allow_path)
-
-    files: list[Path] = []
-    for d in SCAN_DIRS:
-        base = root / d
-        if not base.is_dir():
-            print(f"lint_determinism: missing scan dir {base}", file=sys.stderr)
-            return 2
-        files.extend(p for p in sorted(base.rglob("*")) if p.suffix in EXTENSIONS)
-
-    # Unordered-container names are collected globally: members are declared
-    # in headers but iterated in the matching .cpp.
-    unordered_names: set[str] = set()
-    for p in files:
-        unordered_names |= collect_unordered_names(p.read_text())
-
-    failures = 0
-    for p in files:
-        rel = p.relative_to(root).as_posix()
-        for f in scan_file(p, rel, unordered_names):
-            if f.key() in allow:
-                allow[f.key()] += 1
-                continue
-            print(f"error: {f}", file=sys.stderr)
-            failures += 1
-
-    for entry, used in allow.items():
-        if used == 0:
-            print(f"error: stale allowlist entry `{entry}` matches nothing "
-                  f"({allow_path.relative_to(root)})", file=sys.stderr)
-            failures += 1
-
-    if failures:
-        print(f"lint_determinism: {failures} finding(s). Fix the code or, if the use is provably "
-              f"order-insensitive, add `path:rule:token  # why` to {allow_path.name}.",
-              file=sys.stderr)
-        return 1
-    print(f"lint_determinism: {len(files)} files clean "
-          f"({len(allow)} allowlisted use(s))")
-    return 0
-
 
 if __name__ == "__main__":
-    sys.exit(main())
+    print("lint_determinism.py is deprecated: running `python3 tools/analyze` "
+          "instead (see DESIGN.md 'Static analysis')", file=sys.stderr)
+    analyze = os.path.join(os.path.dirname(os.path.abspath(__file__)), "analyze")
+    os.execv(sys.executable, [sys.executable, analyze] + sys.argv[1:])
