@@ -116,10 +116,26 @@ class BenchReport {
   void flush() {
     if (flushed_) return;
     flushed_ = true;
+    // Reports live under bench_json/ (run_benches.sh merges them into
+    // TRAJECTORY.json there). With no explicit SDUR_BENCH_JSON_DIR, try
+    // bench_json/ relative to the working directory first and fall back to
+    // the working directory itself (e.g. ctest smoke runs in build/, which
+    // has no bench_json/).
     const char* dir = std::getenv("SDUR_BENCH_JSON_DIR");
-    const std::string path =
-        (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string file = "BENCH_" + name_ + ".json";
+    std::string path;
+    std::FILE* f = nullptr;
+    if (dir && *dir) {
+      path = std::string(dir) + "/" + file;
+      f = std::fopen(path.c_str(), "w");
+    } else {
+      path = "bench_json/" + file;
+      f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        path = file;
+        f = std::fopen(path.c_str(), "w");
+      }
+    }
     if (f == nullptr) {
       std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
       return;

@@ -57,10 +57,13 @@ if traj_path.exists():
         print(f"TRAJECTORY.json unreadable; starting fresh")
 
 selected = set(os.environ.get("SDUR_BENCH_FILTER", "").split())
+# Report names that differ from their binary's basename (the filter is
+# given binary names on the command line).
+aliases = {"trace_breakdown": "latency_breakdown"}
 entry = trajectory.get(sha, {})
 for f in sorted(json_dir.glob("BENCH_*.json")):
     name = f.stem.removeprefix("BENCH_")
-    if selected and name not in selected:
+    if selected and name not in selected and aliases.get(name) not in selected:
         continue
     try:
         entry[name] = json.loads(f.read_text())

@@ -25,6 +25,7 @@ PaxosEngine::PaxosEngine(sim::Endpoint& endpoint, GroupConfig config,
   for (std::uint32_t i = 0; i < cfg_.members.size(); ++i) index_of_[cfg_.members[i]] = i;
   promised_ = log_->load_promise();
   highest_seen_ = promised_;
+  trace_track_ = SDUR_TRACE_REGISTER(ep_.self(), "paxos-" + std::to_string(ep_.self()), -1);
   // Group identity for the cross-replica audit oracle: every member hashes
   // the same member list, and distinct groups have distinct member sets.
   SDUR_AUDIT({
@@ -412,6 +413,16 @@ void PaxosEngine::decide(InstanceId inst, Value value) {
                                                        << inst << " (" << value.size()
                                                        << " bytes)");
   log_->save_decided(inst, value);
+  SDUR_TRACE_STMT({
+    // Consensus span: proposal opened here -> decided here (leader view).
+    if (role_ == Role::kLeader) {
+      if (const auto oi = open_.find(inst); oi != open_.end()) {
+        ::sdur::trace::Tracer::instance().record_span(
+            trace_track_, ::sdur::trace::Point::kConsensus, inst, oi->second.proposed_at,
+            ep_.current_time(), value.size());
+      }
+    }
+  });
   undelivered_[inst] = std::move(value);
   acks_.erase(inst);
   ++stats_.decided_instances;

@@ -37,6 +37,7 @@
 #include "paxos/messages.h"
 #include "paxos/types.h"
 #include "sim/endpoint.h"
+#include "trace/trace.h"
 
 namespace sdur::paxos {
 
@@ -197,6 +198,8 @@ class PaxosEngine {
   std::uint32_t behind_heartbeats_ = 0;
 
   std::unordered_map<ProcessId, std::uint32_t> index_of_;
+  /// Lifecycle trace track of this engine (kNoTrack in untraced runs).
+  std::uint32_t trace_track_ = trace::kNoTrack;
 
   // Single-entry decode cache (see decoded_batch()). Batches deliver in
   // instance order, so one entry captures the common decode-again pattern

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "audit/audit.h"
+#include "trace/trace.h"
 
 namespace sdur::pdur {
 
@@ -106,6 +107,17 @@ bool ParallelWindow::conflicts(const util::KeySet& readset, const util::KeySet& 
     if (lane.entries.empty() || lane.entries.back().version <= st) continue;
     const util::KeySet rs_c = project(readset, part_, c);
     const util::KeySet ws_c = project(write_keys, part_, c);
+    // Per-lane strategy instant (aux = the lane): a bloom component in this
+    // lane's projection forces the lane-suffix scan, mirroring
+    // lane_indexed_vote; attributed to the current delivery via the tracer
+    // context the dispatcher set.
+    SDUR_TRACE_STMT({
+      const bool scans = (rs_c.is_bloom() && !rs_c.empty()) ||
+                         (global && ws_c.is_bloom() && !ws_c.empty());
+      SDUR_TRACE_CONTEXT_INSTANT(scans ? trace::Point::kCertScanFallback
+                                       : trace::Point::kCertIndexProbe,
+                                 static_cast<std::uint64_t>(c));
+    });
     const bool vote = lane_indexed_vote(lane, rs_c, ws_c, global, st);
     // Each lane's sub-index must reproduce that lane's scan vote exactly —
     // the per-core slice of the index-scan equivalence bar.

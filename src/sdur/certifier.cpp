@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "audit/audit.h"
+#include "trace/trace.h"
 
 namespace sdur {
 
@@ -120,8 +121,20 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
                        "parallel certifier commits tx " << t.id << " (st=" << st
                                                         << ") but serial scan finds a conflict");
     }
-  } else if (!test_skip_conflict_check_ && has_conflict(t, st)) {
-    return result;  // abort
+  } else if (!test_skip_conflict_check_) {
+    // Which strategy serves this check mirrors indexed_conflict: a bloom
+    // probe set (or, for globals, a bloom write-key set) forces the window
+    // scan for that component; otherwise the key index answers. aux is the
+    // window depth actually certified against.
+    SDUR_TRACE_STMT({
+      const bool scans = (t.readset.is_bloom() && !t.readset.empty()) ||
+                         (t.is_global() && t.write_keys.is_bloom() && !t.write_keys.empty());
+      const std::uint64_t depth = st >= cc_ ? 0 : static_cast<std::uint64_t>(cc_ - st);
+      SDUR_TRACE_CONTEXT_INSTANT(scans ? trace::Point::kCertScanFallback
+                                       : trace::Point::kCertIndexProbe,
+                                 depth);
+    });
+    if (has_conflict(t, st)) return result;  // abort
   }
 
   std::size_t position;

@@ -9,6 +9,7 @@ Client::Client(sim::Network& net, sim::ProcessId pid, sim::Location loc, ClientC
     : sim::Process(net, pid, "client-" + std::to_string(pid), loc), cfg_(std::move(cfg)) {
   // Clients do negligible local work per message.
   set_message_service_time(sim::usec(1));
+  trace_track_ = SDUR_TRACE_REGISTER(self(), name(), -1);
 }
 
 void Client::begin() {
@@ -16,6 +17,7 @@ void Client::begin() {
   tx_.id = (static_cast<TxId>(self()) << 32) | next_seq_++;
   tx_.client = self();
   read_only_ = false;
+  SDUR_TRACE_MARK(trace_track_, trace::Point::kTxBegin, tx_.id, now(), 0);
 }
 
 void Client::begin_read_only(ReadyCallback ready) {
@@ -127,6 +129,7 @@ void Client::commit(CommitCallback cb) {
   pending_commit_ = std::move(cb);
   pending_commit_txid_ = tx_.id;
   const sim::ProcessId contact = cfg_.commit_server.at(primary);
+  SDUR_TRACE_MARK(trace_track_, trace::Point::kTxSubmit, tx_.id, now(), 0);
   send(contact, CommitReqMsg{tx_}.to_message());
 
   const TxId txid = tx_.id;
@@ -185,6 +188,8 @@ void Client::on_message(const sim::Message& m, sim::ProcessId from) {
     case msgtype::kOutcome: {
       const auto out = OutcomeMsg::decode(r);
       if (!pending_commit_ || out.id != pending_commit_txid_) return;
+      SDUR_TRACE_MARK(trace_track_, trace::Point::kTxOutcome, out.id, now(),
+                      static_cast<std::uint64_t>(out.outcome));
       auto cb = std::move(pending_commit_);
       pending_commit_ = nullptr;
       cb(out.outcome);

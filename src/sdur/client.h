@@ -24,6 +24,7 @@
 #include "sdur/messages.h"
 #include "sdur/partitioning.h"
 #include "sim/process.h"
+#include "trace/trace.h"
 
 namespace sdur {
 
@@ -118,6 +119,7 @@ class Client : public sim::Process {
   CommitCallback pending_commit_;
   TxId pending_commit_txid_ = 0;
 
+  std::uint32_t trace_track_ = trace::kNoTrack;
   Stats stats_;
 };
 

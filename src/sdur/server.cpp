@@ -24,6 +24,7 @@ Server::Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerC
       cert_(cfg_.window_capacity, cfg_.pdur.cores),
       gsc_(cfg_.num_partitions, 0) {
   set_message_service_time(cfg_.message_service_time);
+  trace_track_ = SDUR_TRACE_REGISTER(self(), name(), -1);
   if (parallel()) {
     // P-DUR replica: core 0 is the dispatcher (message ingress + delivery
     // fan-out); certification/execution work runs on the keys' home cores.
@@ -140,6 +141,7 @@ void Server::handle_commit_request(Transaction tx) {
     return;
   }
 
+  SDUR_TRACE_MARK(trace_track_, trace::Point::kTxHandle, tx.id, now(), involved.size());
   const bool own_involved =
       std::binary_search(involved.begin(), involved.end(), cfg_.partition);
   const sim::ProcessId contact =
@@ -222,6 +224,10 @@ void Server::adeliver(const paxos::Value& value) {
     cost = parallel() ? cfg_.pdur.dispatch_cost
                       : cfg_.certification_cost +
                             cfg_.apply_cost_per_write * static_cast<sim::Time>(t.writes.size());
+    // The mark's timestamp is the enqueue time; kTxCertified later carries
+    // this same cost in its aux, letting export split the interval between
+    // the two marks into CPU queue wait and charged service time.
+    SDUR_TRACE_MARK(trace_track_, trace::Point::kTxDeliver, t.id, now(), 0);
   }
   enqueue_work(cost, [this, t = std::move(t)]() mutable { process_delivery(std::move(t)); });
 }
@@ -270,6 +276,9 @@ void Server::process_delivery(PartTx t) {
       Outcome vote = Outcome::kAbort;
       Certifier::Result res;
       SDUR_AUDIT(Version audit_version = 0);
+      // Certifier and ParallelWindow attribute their conflict-check
+      // instants to this delivery via the tracer context.
+      SDUR_TRACE_SET_CONTEXT(trace_track_, t.id, now());
       if (!poisoned_.contains(t.id)) {
         res = cert_.process(t, rt, dc_);
         vote = res.outcome;
@@ -282,6 +291,15 @@ void Server::process_delivery(PartTx t) {
           SDUR_AUDIT(audit_version = res.version);
         }
       }
+      SDUR_TRACE_CLEAR_CONTEXT();
+      SDUR_TRACE_STMT({
+        const sim::Time charged =
+            parallel() ? cfg_.pdur.dispatch_cost
+                       : cfg_.certification_cost +
+                             cfg_.apply_cost_per_write * static_cast<sim::Time>(t.writes.size());
+        SDUR_TRACE_MARK(trace_track_, trace::Point::kTxCertified, t.id, now(),
+                        trace::cert_aux(t.is_global(), vote == Outcome::kCommit, charged));
+      });
       // Certification is a pure function of the delivered sequence: every
       // replica of this partition must reach the same verdict at this
       // delivery index. This holds in the P-DUR model too — the verdict is
@@ -329,6 +347,7 @@ void Server::process_delivery(PartTx t) {
         SDUR_AUDIT(audit::Oracle::instance().record_completion(
             t.id, cfg_.partition, audit::Oracle::kAbort, t.involved, self(), now()));
         if (t.contact == self() && t.client != 0) {
+          SDUR_TRACE_MARK(trace_track_, trace::Point::kTxCompleted, t.id, now(), 0);
           send(t.client, OutcomeMsg{t.id, Outcome::kAbort}.to_message());
         }
       }
@@ -342,6 +361,7 @@ void Server::finish_core_work(const PartTx& t, Outcome vote, Version version) {
   // Runs when every home core of the transaction finished its simulated
   // work (epoch-guarded: never after a crash). The verdict itself was
   // fixed at dispatch; only now do its effects leave the replica.
+  SDUR_TRACE_MARK(trace_track_, trace::Point::kTxReady, t.id, now(), 0);
   if (vote == Outcome::kCommit) cert_.mark_ready(version);
   if (t.is_global()) {
     record_own_vote(t, vote);
@@ -354,6 +374,7 @@ void Server::finish_core_work(const PartTx& t, Outcome vote, Version version) {
     SDUR_AUDIT(audit::Oracle::instance().record_completion(
         t.id, cfg_.partition, audit::Oracle::kAbort, t.involved, self(), now()));
     if (t.contact == self() && t.client != 0) {
+      SDUR_TRACE_MARK(trace_track_, trace::Point::kTxCompleted, t.id, now(), 0);
       send(t.client, OutcomeMsg{t.id, Outcome::kAbort}.to_message());
     }
   }
@@ -393,6 +414,12 @@ void Server::complete(const PendingEntry& e, Outcome outcome) {
   votes_.erase(t.id);
   remember_outcome(t.id, outcome);
   if (t.contact == self() && t.client != 0) {
+    if (t.is_global()) {
+      // Certification verdict to all-votes-in + reorder threshold cleared.
+      SDUR_TRACE_SPAN(trace_track_, trace::Point::kVoteWait, t.id, e.delivered_at, now(), 0, -1);
+    }
+    SDUR_TRACE_MARK(trace_track_, trace::Point::kTxCompleted, t.id, now(),
+                    outcome == Outcome::kCommit ? 1 : 0);
     send(t.client, OutcomeMsg{t.id, outcome}.to_message());
   }
 }

@@ -36,6 +36,7 @@
 #include "sdur/partitioning.h"
 #include "sim/process.h"
 #include "storage/mvstore.h"
+#include "trace/trace.h"
 
 namespace sdur {
 
@@ -188,6 +189,8 @@ class Server : public sim::Process {
   std::unique_ptr<pdur::Executor> executor_;
   Stats stats_;
   bool tick_pending_ = false;
+  /// Lifecycle trace track of this replica (kNoTrack in untraced runs).
+  std::uint32_t trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sdur

@@ -1,0 +1,202 @@
+#include "trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace sdur::trace {
+
+namespace {
+
+/// Minimal JSON string escaping; track names are generated identifiers,
+/// this just keeps the output valid if one ever is not.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+const char* category(Point p) {
+  switch (p) {
+    case Point::kConsensus: return "paxos";
+    case Point::kVoteWait: return "votes";
+    case Point::kLaneWork:
+    case Point::kLaneWait: return "lane";
+    case Point::kCertIndexProbe:
+    case Point::kCertScanFallback: return "cert";
+    default: return "tx";
+  }
+}
+
+}  // namespace
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fputs("\n ", f);
+  };
+  for (std::uint32_t tid = 0; tid < tracer.track_count(); ++tid) {
+    const Tracer::Track& tr = tracer.track(tid);
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%" PRIu64
+                 ",\"tid\":%u,\"args\":{\"name\":%s}}",
+                 tr.pid, tid, quoted(tr.name).c_str());
+  }
+  for (const Record& r : tracer.records()) {
+    if (r.track >= tracer.track_count()) continue;  // defensive
+    const Tracer::Track& tr = tracer.track(r.track);
+    sep();
+    if (r.kind == Kind::kSpan) {
+      std::fprintf(f,
+                   "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%" PRIu64
+                   ",\"tid\":%u,\"ts\":%" PRId64 ",\"dur\":%" PRId64
+                   ",\"args\":{\"id\":%" PRIu64 ",\"aux\":%" PRIu64 "}}",
+                   to_string(r.point), category(r.point), tr.pid, r.track, r.t0,
+                   r.t1 - r.t0, r.id, r.aux);
+    } else {
+      std::fprintf(f,
+                   "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%" PRIu64
+                   ",\"tid\":%u,\"ts\":%" PRId64 ",\"args\":{\"id\":%" PRIu64
+                   ",\"aux\":%" PRIu64 "}}",
+                   to_string(r.point), category(r.point), tr.pid, r.track, r.ts,
+                   r.id, r.aux);
+    }
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+const char* Breakdown::stage_name(std::size_t s) {
+  static const char* kNames[kStages] = {"submit_net", "ordering",    "cert_queue",
+                                        "execution",  "lane_exec",   "commit_wait",
+                                        "reply_net"};
+  return s < kStages ? kNames[s] : "?";
+}
+
+double Breakdown::Class::sum_of_stage_means() const {
+  double sum = 0;
+  for (std::size_t s = 0; s < kStages; ++s) sum += stage[s].mean();
+  return sum;
+}
+
+Breakdown build_breakdown(const Tracer& tracer) {
+  struct Chain {
+    sim::Time submit = -1, handle = -1, outcome = -1;
+    sim::Time deliver = -1, certified = -1, ready = -1, completed = -1;
+    std::uint64_t cert_payload = 0;
+    std::uint32_t server_track = kNoTrack;
+  };
+  // Ordered map: the builder's iteration (and thus any fp rounding) is a
+  // deterministic function of the trace, like everything else here.
+  std::map<std::uint64_t, Chain> chains;
+  const std::vector<Record> recs = tracer.records();
+
+  // Pass 1: client-side marks plus the completion point, which pins the
+  // contact replica's track — the chain's server-side marks are read from
+  // that track only (every replica of a partition records deliveries; only
+  // the contact's timeline reaches the client).
+  for (const Record& r : recs) {
+    if (r.kind != Kind::kMark) continue;
+    switch (r.point) {
+      case Point::kTxSubmit: {
+        Chain& c = chains[r.id];
+        if (c.submit < 0) c.submit = r.ts;
+        break;
+      }
+      case Point::kTxHandle: {
+        Chain& c = chains[r.id];
+        if (c.handle < 0) c.handle = r.ts;
+        break;
+      }
+      case Point::kTxOutcome: {
+        Chain& c = chains[r.id];
+        if (c.outcome < 0) c.outcome = r.ts;
+        break;
+      }
+      case Point::kTxCompleted: {
+        Chain& c = chains[r.id];
+        if (c.completed < 0) {
+          c.completed = r.ts;
+          c.server_track = r.track;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Pass 2: the contact's delivery-side marks (first occurrence each — a
+  // recovery replay re-records them later).
+  for (const Record& r : recs) {
+    if (r.kind != Kind::kMark) continue;
+    if (r.point != Point::kTxDeliver && r.point != Point::kTxCertified &&
+        r.point != Point::kTxReady) {
+      continue;
+    }
+    auto it = chains.find(r.id);
+    if (it == chains.end() || it->second.server_track != r.track) continue;
+    Chain& c = it->second;
+    if (r.point == Point::kTxDeliver && c.deliver < 0) c.deliver = r.ts;
+    if (r.point == Point::kTxCertified && c.certified < 0) {
+      c.certified = r.ts;
+      c.cert_payload = r.aux;
+    }
+    if (r.point == Point::kTxReady && c.ready < 0) c.ready = r.ts;
+  }
+
+  Breakdown out;
+  for (const auto& [id, c] : chains) {
+    (void)id;
+    if (c.submit < 0 || c.handle < 0 || c.deliver < 0 || c.certified < 0 ||
+        c.completed < 0 || c.outcome < 0) {
+      ++out.incomplete_chains;
+      continue;
+    }
+    if (!aux_committed(c.cert_payload)) {
+      ++out.aborted_chains;
+      continue;
+    }
+    const sim::Time cost = aux_cost(c.cert_payload);
+    const sim::Time work_start = c.certified - cost;
+    const sim::Time ready = c.ready >= 0 ? c.ready : c.certified;
+    const sim::Time stages[Breakdown::kStages] = {
+        c.handle - c.submit,      // submit_net
+        c.deliver - c.handle,     // ordering
+        work_start - c.deliver,   // cert_queue
+        cost,                     // execution
+        ready - c.certified,      // lane_exec
+        c.completed - ready,      // commit_wait
+        c.outcome - c.completed,  // reply_net
+    };
+    bool sane = true;
+    for (std::size_t s = 0; s < Breakdown::kStages; ++s) {
+      if (stages[s] < 0) sane = false;
+    }
+    if (!sane) {  // a crashed replica's clock hole; cannot be attributed
+      ++out.incomplete_chains;
+      continue;
+    }
+    Breakdown::Class& cls = aux_global(c.cert_payload) ? out.global : out.local;
+    for (std::size_t s = 0; s < Breakdown::kStages; ++s) cls.stage[s].record(stages[s]);
+    cls.e2e.record(c.outcome - c.submit);
+    ++cls.chains;
+  }
+  return out;
+}
+
+}  // namespace sdur::trace

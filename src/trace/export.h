@@ -1,0 +1,64 @@
+// Trace exporters: Chrome trace-event JSON and the per-stage latency
+// attribution breakdown. Export is cold-path host-side code — it runs
+// after a simulation, never during one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace sdur::trace {
+
+/// Writes every live record as Chrome trace-event JSON ("Trace Event
+/// Format"), loadable by Perfetto / chrome://tracing. One track per
+/// registered trace track: pid = the simulated process, tid = the track
+/// id (replica main track, client, Paxos engine, or one P-DUR core
+/// lane), with thread_name metadata carrying the track names. Spans
+/// become complete ("X") events, marks and instants become instant ("i")
+/// events; timestamps are simulated microseconds. Returns false if the
+/// file cannot be written.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Per-stage latency attribution, rebuilt from the transaction chain
+/// marks (Point::kTx*). Stages telescope between consecutive marks:
+///
+///   submit_net   kTxSubmit    -> kTxHandle     client->server request
+///   ordering     kTxHandle    -> kTxDeliver    abcast: Paxos + delivery
+///   cert_queue   kTxDeliver   -> work start    replica CPU queue wait
+///   execution    work start   -> kTxCertified  charged certification/apply
+///                                              cost (aux_cost of the mark)
+///   lane_exec    kTxCertified -> kTxReady      P-DUR home-core work
+///                                              (0 in the serial model)
+///   commit_wait  ready        -> kTxCompleted  votes + reorder threshold
+///   reply_net    kTxCompleted -> kTxOutcome    server->client outcome
+///
+/// Only chains whose every mark survived in the ring contribute (the
+/// ring overwrites the oldest records; a partial chain cannot be
+/// attributed). Because the stages telescope, the sum of stage means
+/// equals the mean end-to-end (submit -> outcome) latency exactly over
+/// the same chain set — the acceptance bar of bench/latency_breakdown.
+struct Breakdown {
+  static constexpr std::size_t kStages = 7;
+  static const char* stage_name(std::size_t s);
+
+  struct Class {
+    util::Histogram stage[kStages];  // per-stage duration, microseconds
+    util::Histogram e2e;             // submit -> outcome
+    std::uint64_t chains = 0;        // complete committed chains attributed
+    /// Sum over stages of the stage mean (microseconds); equals
+    /// e2e.mean() up to floating-point rounding by construction.
+    double sum_of_stage_means() const;
+  };
+
+  Class local;        // single-partition transactions
+  Class global;       // multi-partition transactions (vote exchange)
+  std::uint64_t aborted_chains = 0;    // complete chains that aborted
+  std::uint64_t incomplete_chains = 0; // missing marks (ring wrap, crash,
+                                       // client timeout, in flight at stop)
+};
+
+Breakdown build_breakdown(const Tracer& tracer);
+
+}  // namespace sdur::trace

@@ -1,0 +1,11 @@
+// Fixture: record*-named functions are hot only under src/trace/ — the
+// same name in a protocol dir allocates without a finding.
+
+namespace sdur {
+
+void Recorder::record_outcome() {
+  auto* e = new Event();  // negative: record* outside src/trace/
+  (void)e;
+}
+
+}  // namespace sdur

@@ -1,0 +1,8 @@
+// Fixture: sim may never depend on trace — the simulator's schedule
+// cannot be conditioned on whether tracing is compiled in.
+#include "trace/trace.h"
+#include "util/bytes.h"
+
+namespace sim {
+void peek_tracer() {}
+}  // namespace sim

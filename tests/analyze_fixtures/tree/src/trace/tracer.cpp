@@ -1,0 +1,27 @@
+// Fixture: the tracer's span-emit path (record*/emit*/append* under
+// src/trace/ only) is hot — it runs once per instrumented protocol step
+// and carries a zero-allocation-at-steady-state contract. Identical
+// constructs in cold bodies (registration) must stay silent.
+
+namespace trace {
+
+void Tracer::record_mark(const KeySet& keys) {
+  KeySet tmp = keys;                    // positive: container deep-copy
+  auto* slot = new Record();            // positive: hotpath-alloc
+  if (keys.empty()) {
+    throw std::logic_error("empty");    // positive: hotpath-throw
+  }
+  stash(tmp, slot);
+}
+
+void Tracer::append(const Record& r) {
+  auto owned = std::make_unique<Record>(r);  // positive: hotpath-alloc
+  stash_owned(owned.get());
+}
+
+void Tracer::register_track() {
+  auto* scratch = new Record();  // negative: registration is cold
+  (void)scratch;
+}
+
+}  // namespace trace

@@ -224,6 +224,51 @@ TEST(Histogram, MergeMatchesCombinedRecording) {
   EXPECT_DOUBLE_EQ(a.mean(), all.mean());
 }
 
+TEST(Histogram, MergeAcrossSubBucketBits) {
+  // Merging histograms with different sub-bucket resolution re-records the
+  // source's bucket midpoints: counts are preserved exactly, the mean only
+  // within the coarser histogram's relative-error bound.
+  Histogram coarse(4);
+  Histogram fine(8);
+  for (int i = 0; i < 1000; ++i) coarse.record(100 + i);
+  for (int i = 0; i < 500; ++i) fine.record(50'000 + 10 * i);
+  const std::uint64_t total = coarse.count() + fine.count();
+  const double expected_mean =
+      (coarse.mean() * static_cast<double>(coarse.count()) +
+       fine.mean() * static_cast<double>(fine.count())) /
+      static_cast<double>(total);
+  coarse.merge(fine);
+  EXPECT_EQ(coarse.count(), total);
+  // 4 sub-bucket bits => buckets are ~1/16 wide, midpoints within ~3%.
+  EXPECT_NEAR(coarse.mean(), expected_mean, expected_mean * 0.04);
+  EXPECT_GE(coarse.percentile(100), fine.percentile(100) * 95 / 100);
+
+  // Merging an empty histogram is a no-op.
+  const std::uint64_t before = coarse.count();
+  const double mean_before = coarse.mean();
+  Histogram empty(10);
+  coarse.merge(empty);
+  EXPECT_EQ(coarse.count(), before);
+  EXPECT_DOUBLE_EQ(coarse.mean(), mean_before);
+
+  // Merging into an empty histogram transfers everything.
+  Histogram sink(6);
+  Histogram src(9);
+  for (int i = 1; i <= 100; ++i) src.record(i * 7);
+  sink.merge(src);
+  EXPECT_EQ(sink.count(), src.count());
+  EXPECT_NEAR(sink.mean(), src.mean(), src.mean() * 0.04);
+}
+
+TEST(Histogram, EmptyHistogramQueries) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.cdf().empty());
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(99), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
 TEST(Histogram, ZeroAndNegativeClamped) {
   Histogram h;
   h.record(0);

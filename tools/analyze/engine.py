@@ -32,7 +32,8 @@ EXTENSIONS = {".h", ".cpp"}
 # Directories the legacy determinism linter scanned; the migrated rules
 # keep this scope so their findings stay comparable, while the new
 # protocol rules see all of src/.
-LEGACY_DIRS = ("src/sim/", "src/sdur/", "src/paxos/", "src/storage/", "src/pdur/")
+LEGACY_DIRS = ("src/sim/", "src/sdur/", "src/paxos/", "src/storage/", "src/pdur/",
+               "src/trace/")
 
 
 @dataclass

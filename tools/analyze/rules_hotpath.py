@@ -17,8 +17,13 @@ out of the functions on that path:
 Hot functions are matched by name, per the certification call graph:
 `certify*`, anything containing `conflict` (conflicts_*, scan_conflict,
 indexed_conflict, has_conflict, reads_conflict, writes_conflict), and
-`scan_after`. Scope: the protocol dirs (src/{sim,sdur,paxos,storage,
-pdur}) — workload/audit tooling may allocate freely.
+`scan_after`. Under src/trace/ the span-emit path is hot too: every
+instrumented protocol step calls Tracer::record_*/append per delivered
+transaction, and the tracer's zero-allocation-at-steady-state contract
+(see src/trace/trace.h) dies if those bodies allocate or throw — there
+`record*`, `emit*` and `append*` bodies are checked as well. Scope: the
+protocol dirs (src/{sim,sdur,paxos,storage,pdur,trace}) —
+workload/audit tooling may allocate freely.
 """
 
 from __future__ import annotations
@@ -33,8 +38,12 @@ _ALLOC_CALLS = {"make_unique", "make_shared"}
 _CHAIN_OK = {".", "->", "::"}
 
 
-def _is_hot(name: str) -> bool:
-    return name == "scan_after" or name.startswith("certify") or "conflict" in name
+def _is_hot(name: str, rel: str) -> bool:
+    if name == "scan_after" or name.startswith("certify") or "conflict" in name:
+        return True
+    # The tracer's record/emit/append path runs once per instrumented
+    # protocol step; its zero-alloc contract is load-bearing.
+    return rel.startswith("src/trace/") and name.startswith(("record", "emit", "append"))
 
 
 def _is_lvalue_chain(tokens: list[Token]) -> bool:
@@ -117,7 +126,7 @@ def _byvalue_params(fn: FunctionDef, rel: str):
 def run_hotpath_hygiene(ctx: Context):
     for m in ctx.legacy_models():
         for fn in m.functions:
-            if not _is_hot(fn.name):
+            if not _is_hot(fn.name, m.rel):
                 continue
             toks = fn.body
             for i, t in enumerate(toks):
@@ -144,7 +153,8 @@ def run_hotpath_hygiene(ctx: Context):
 
 RULES = [
     Rule("hotpath-alloc",
-         "no new/make_unique/make_shared in certify/conflicts_*/scan_after bodies",
+         "no new/make_unique/make_shared in certify/conflicts_*/scan_after "
+         "bodies, nor in src/trace/ record*/emit*/append* span-emit bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-alloc"),
          suggestion="preallocate outside the certification path (arena/ring "
                     "patterns, see storage/commit_window.h)"),
@@ -154,7 +164,8 @@ RULES = [
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-container-copy"),
          suggestion="take const&, or reuse a scratch buffer owned by the caller"),
     Rule("hotpath-throw",
-         "no throwing constructs in audit-off protocol hot paths",
+         "no throwing constructs in audit-off protocol hot paths "
+         "(certification and trace span-emit)",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-throw"),
          suggestion="return a verdict, or guard the invariant with SDUR_AUDIT_CHECK "
                     "(compiled out in benchmark builds)"),

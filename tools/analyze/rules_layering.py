@@ -4,19 +4,23 @@ graphs, plus file-level include-cycle detection.
 The enforced DAG (see DESIGN.md "Static analysis"):
 
     util <- audit <- sim <- storage <- paxos
-                              ^          ^
-                              |          |
-                            pdur <---- sdur <- workload
+                      ^       ^          ^
+                      |       |          |
+                    trace   pdur <---- sdur <- workload
 
 i.e. each layer may include only the layers listed for it below. This
 refines the coarse sketch `util <- sim <- {storage, workload} <- paxos
-<- sdur <- pdur` with the three facts of this codebase: `audit` is the
+<- sdur <- pdur` with the facts of this codebase: `audit` is the
 cross-cutting invariant layer (includes only util, includable from any
 protocol layer); `pdur` sits *below* `sdur` (sdur::Certifier drives the
-per-core lanes, not the other way around); and `workload` is the
-top-of-stack driver layer. The config below is the source of truth; the
-rule fails on any edge outside it, and on any #include cycle among the
-scanned files regardless of layers.
+per-core lanes, not the other way around); `trace` is the observability
+layer — it sees util and sim (for sim::Time) and every protocol layer
+may include it, but `sim` itself must never depend on trace (the
+simulator's schedule cannot be influenced by whether tracing is
+compiled in); and `workload` is the top-of-stack driver layer. The
+config below is the source of truth; the rule fails on any edge outside
+it, and on any #include cycle among the scanned files regardless of
+layers.
 """
 
 from __future__ import annotations
@@ -28,11 +32,12 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "util": set(),
     "audit": {"util"},
     "sim": {"util", "audit"},
+    "trace": {"util", "sim"},
     "storage": {"util", "audit", "sim"},
-    "paxos": {"util", "audit", "sim", "storage"},
-    "pdur": {"util", "audit", "sim", "storage"},
-    "sdur": {"util", "audit", "sim", "storage", "paxos", "pdur"},
-    "workload": {"util", "audit", "sim", "storage", "sdur", "pdur"},
+    "paxos": {"util", "audit", "sim", "storage", "trace"},
+    "pdur": {"util", "audit", "sim", "storage", "trace"},
+    "sdur": {"util", "audit", "sim", "storage", "paxos", "pdur", "trace"},
+    "workload": {"util", "audit", "sim", "storage", "sdur", "pdur", "trace"},
 }
 
 
@@ -134,7 +139,8 @@ def run_include_cycle(ctx: Context):
 RULES = [
     Rule("layering",
          "src/ dependency DAG enforced from actual #include graphs "
-         "(util <- audit <- sim <- storage <- {paxos, pdur} <- sdur <- workload)",
+         "(util <- audit <- sim <- {trace, storage} <- {paxos, pdur} <- sdur "
+         "<- workload; sim never includes trace)",
          run_layering,
          suggestion="move the shared type down a layer, or invert the dependency "
                     "with a callback/interface owned by the lower layer"),
