@@ -197,6 +197,12 @@ struct MicroSetup {
   /// Fraction of transactions whose keys deliberately span >= 2 cores
   /// (only meaningful with pdur_cores > 1).
   double cross_core_fraction = 0.0;
+  /// Vote-exchange batching (see DESIGN.md "Vote exchange & batching");
+  /// default off = legacy per-transaction vote unicast.
+  bool vote_batching = false;
+  /// Batch flush interval; 0 keeps the ServerConfig default.
+  sim::Time vote_batch_interval = 0;
+  bool vote_piggyback = true;
 };
 
 inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
@@ -209,6 +215,9 @@ inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
   spec.server.fixed_delay = s.fixed_delay;
   spec.server.bloom_readsets = s.bloom;
   spec.server.pdur.cores = s.pdur_cores;
+  spec.server.vote_batching = s.vote_batching;
+  if (s.vote_batch_interval > 0) spec.server.vote_batch_interval = s.vote_batch_interval;
+  spec.server.vote_piggyback = s.vote_piggyback;
   spec.seed = s.seed;
   return std::make_unique<Deployment>(spec);
 }

@@ -59,7 +59,8 @@ if traj_path.exists():
 selected = set(os.environ.get("SDUR_BENCH_FILTER", "").split())
 # Report names that differ from their binary's basename (the filter is
 # given binary names on the command line).
-aliases = {"trace_breakdown": "latency_breakdown"}
+aliases = {"trace_breakdown": "latency_breakdown",
+           "vote_batching": "ablation_vote_batching"}
 entry = trajectory.get(sha, {})
 for f in sorted(json_dir.glob("BENCH_*.json")):
     name = f.stem.removeprefix("BENCH_")

@@ -56,7 +56,15 @@ std::uint32_t PaxosEngine::member_index(ProcessId pid) const {
 }
 
 void PaxosEngine::broadcast(const sim::Message& m) {
-  for (ProcessId pid : cfg_.members) ep_.send_message(pid, m);
+  for (ProcessId pid : cfg_.members) send_to(pid, m);
+}
+
+void PaxosEngine::send_to(ProcessId to, const sim::Message& m) {
+  if (send_wrapper_) {
+    ep_.send_message(to, send_wrapper_(to, m));
+    return;
+  }
+  ep_.send_message(to, m);
 }
 
 Time PaxosEngine::election_deadline() const {
@@ -123,7 +131,7 @@ void PaxosEngine::start_campaign() {
 void PaxosEngine::on_phase1a(const Phase1A& m, ProcessId from) {
   highest_seen_ = std::max(highest_seen_, m.ballot);
   if (m.ballot < promised_) {
-    ep_.send_message(from, Nack{promised_}.to_message());
+    send_to(from, Nack{promised_}.to_message());
     ++stats_.nacks;
     return;
   }
@@ -144,7 +152,7 @@ void PaxosEngine::on_phase1a(const Phase1A& m, ProcessId from) {
   }
   // Persist-before-ack: the promise hits the log before the reply leaves.
   ep_.start_timer(cfg_.log_write_latency,
-                  [this, from, msg = reply.to_message()]() { ep_.send_message(from, msg); });
+                  [this, from, msg = reply.to_message()]() { send_to(from, msg); });
 }
 
 void PaxosEngine::on_phase1b(const Phase1B& m, ProcessId from) {
@@ -197,7 +205,7 @@ void PaxosEngine::become_leader() {
     }
   }
   if (quorum_decided > next_deliver_) {
-    ep_.send_message(most_advanced, CatchupReq{next_deliver_}.to_message());
+    send_to(most_advanced, CatchupReq{next_deliver_}.to_message());
   }
   next_instance_ = std::max(next_instance_, quorum_decided);
   promises_.clear();
@@ -237,7 +245,7 @@ void PaxosEngine::on_heartbeat(const Heartbeat& m, ProcessId from) {
     }
     // Flush any values buffered while leaderless.
     if (!pending_.empty()) {
-      for (auto& v : pending_) ep_.send_message(from, Forward{std::move(v)}.to_message());
+      for (auto& v : pending_) send_to(from, Forward{std::move(v)}.to_message());
       pending_.clear();
     }
     if (m.decided_upto > next_deliver_) {
@@ -245,7 +253,7 @@ void PaxosEngine::on_heartbeat(const Heartbeat& m, ProcessId from) {
       if (m.decided_upto > next_deliver_ + cfg_.catchup_threshold ||
           behind_heartbeats_ >= kBehindHeartbeatsBeforeCatchup) {
         behind_heartbeats_ = 0;
-        ep_.send_message(from, CatchupReq{next_deliver_}.to_message());
+        send_to(from, CatchupReq{next_deliver_}.to_message());
       }
     } else {
       behind_heartbeats_ = 0;
@@ -302,7 +310,7 @@ void PaxosEngine::on_forward(Forward m, ProcessId from) {
   }
   const ProcessId hint = leader_hint();
   if (hint != ep_.self()) {
-    for (auto& v : pending_) ep_.send_message(hint, Forward{std::move(v)}.to_message());
+    for (auto& v : pending_) send_to(hint, Forward{std::move(v)}.to_message());
     pending_.clear();
   }
   // Otherwise keep buffering until a leader is known (flushed on heartbeat).
@@ -334,7 +342,7 @@ void PaxosEngine::open_instance(InstanceId inst, Value value,
 void PaxosEngine::on_phase2a(Phase2A m, ProcessId from) {
   highest_seen_ = std::max(highest_seen_, m.ballot);
   if (m.ballot < promised_ && !test_accept_stale_ballots_) {
-    ep_.send_message(from, Nack{promised_}.to_message());
+    send_to(from, Nack{promised_}.to_message());
     ++stats_.nacks;
     return;
   }
@@ -485,7 +493,7 @@ void PaxosEngine::on_catchup_req(const CatchupReq& m, ProcessId from) {
     // The requested prefix was truncated; ship the covering checkpoint.
     if (const auto cp = log_->load_checkpoint(); cp && cp->second > m.from_instance) {
       ++stats_.state_transfers_sent;
-      ep_.send_message(from, StateTransfer{cp->second, cp->first}.to_message());
+      send_to(from, StateTransfer{cp->second, cp->first}.to_message());
       return;
     }
   }
@@ -496,7 +504,7 @@ void PaxosEngine::on_catchup_req(const CatchupReq& m, ProcessId from) {
     if (!v) break;
     resp.values.push_back(std::move(*v));
   }
-  if (!resp.values.empty()) ep_.send_message(from, resp.to_message());
+  if (!resp.values.empty()) send_to(from, resp.to_message());
 }
 
 void PaxosEngine::on_catchup_resp(const CatchupResp& m) {

@@ -75,6 +75,14 @@ class PaxosEngine {
   /// state transfers and to recover from a checkpointed log).
   void set_install_handler(InstallFn fn) { install_ = std::move(fn); }
 
+  /// Last-hop hook over every message the engine sends: the wrapper may
+  /// replace the outgoing message (same destination) — e.g. the SDUR vote
+  /// batcher piggybacks pending cross-partition votes on engine traffic.
+  /// Identity when unset. The wrapper must preserve delivery semantics:
+  /// the receiver-side unwrap dispatches the inner message unchanged.
+  using SendWrapper = std::function<sim::Message(ProcessId, sim::Message)>;
+  void set_send_wrapper(SendWrapper fn) { send_wrapper_ = std::move(fn); }
+
   /// Persists `app_state` as a checkpoint covering everything delivered so
   /// far and truncates the log below it. Lagging replicas that request
   /// truncated instances receive the checkpoint instead.
@@ -134,6 +142,8 @@ class PaxosEngine {
   void try_deliver();
   void tick();
   void broadcast(const sim::Message& m);
+  /// All engine sends funnel through here so send_wrapper_ sees each one.
+  void send_to(ProcessId to, const sim::Message& m);
   bool value_in_flight(std::uint64_t hash) const;
   std::uint32_t member_index(ProcessId pid) const;
   Time election_deadline() const;
@@ -150,6 +160,7 @@ class PaxosEngine {
   std::unique_ptr<DurableLog> log_;
   DeliverFn deliver_;
   InstallFn install_;
+  SendWrapper send_wrapper_;
 
   Role role_ = Role::kFollower;
   Ballot promised_;          // highest ballot promised (persisted)

@@ -168,6 +168,7 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
   if (parallel()) window_->insert(result.version, t.readset, t.write_keys, result.cores);
   pl_.insert(pl_.begin() + static_cast<std::ptrdiff_t>(position),
              PendingEntry{t, rt, result.version, 0, 0, false, true});
+  pending_ids_.insert(t.id);
   // The window holds exactly one slot per assigned version in [base, cc]:
   // a gap would let a conflicting transaction escape certification.
   SDUR_AUDIT_CHECK("certifier", "window-contiguous",
@@ -180,6 +181,7 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
 PendingEntry Certifier::pop_head() {
   PendingEntry e = std::move(pl_.front());
   pl_.pop_front();
+  pending_ids_.erase(e.tx.id);
   return e;
 }
 
@@ -266,6 +268,7 @@ void Certifier::install(util::Reader& r) {
     slots_.push_back(std::move(s));
   }
   pl_.clear();
+  pending_ids_.clear();
   const std::uint64_t np = r.varint();
   for (std::uint64_t i = 0; i < np; ++i) {
     const std::string tx_bytes = r.bytes();
@@ -274,6 +277,7 @@ void Certifier::install(util::Reader& r) {
         util::Bytes(tx_bytes.begin(), tx_bytes.end()));
     e.rt = r.u64();
     e.version = r.i64();
+    pending_ids_.insert(e.tx.id);
     pl_.push_back(std::move(e));
   }
   rebuild_window();
@@ -302,6 +306,7 @@ void Certifier::reset() {
   cc_ = 0;
   stable_ = 0;
   pl_.clear();
+  pending_ids_.clear();
   index_.clear();
   if (parallel()) window_->clear();
 }

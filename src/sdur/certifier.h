@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "pdur/parallel_window.h"
@@ -122,6 +123,12 @@ class Certifier {
   PendingEntry& at(std::size_t i) { return pl_[i]; }
   PendingEntry pop_head();
 
+  /// O(1) membership test for the pending list, keyed by transaction id
+  /// (ids are unique in the list: the server's seen_ set dedups deliveries
+  /// upstream). Lets handle_vote decide "still pending?" without the
+  /// O(window) scan it used to run per incoming vote.
+  bool pending_contains(TxId id) const { return pending_ids_.count(id) != 0; }
+
   /// P-DUR: marks the pending entry holding version `v` ready (its core
   /// work completed). No-op if the entry already left the list.
   void mark_ready(Version v);
@@ -185,6 +192,8 @@ class Certifier {
   Version cc_ = 0;          // last assigned version
   Version stable_ = 0;      // resolved prefix
   std::deque<PendingEntry> pl_;
+  /// Ids of the entries in pl_, mirrored on every insert/pop/install/reset.
+  std::unordered_set<TxId> pending_ids_;
   /// Per-key last-writer / last-reader index over slots_, maintained on
   /// certification and eviction (see storage/cert_index.h).
   storage::CertIndex index_;

@@ -73,6 +73,30 @@ struct ServerConfig {
   /// advance the delivery counter (implementation addition; see DESIGN.md).
   sim::Time tick_interval = sim::msec(2);
 
+  // --- Vote batching (see DESIGN.md "Vote exchange & batching") -------------
+
+  /// Coalesce outgoing votes per destination partition into VoteBatchMsg
+  /// flushes (and piggyback them on traffic already headed there) instead
+  /// of one VoteMsg unicast per transaction per remote replica. Default
+  /// off = bit-identical legacy vote exchange (golden-digest pinned in
+  /// tests/vote_batch_test.cpp).
+  bool vote_batching = false;
+
+  /// Max time a queued vote waits before the batcher force-flushes all
+  /// destination queues. Bounds the extra commit_wait a batched vote can
+  /// add; votes produced by one delivery batch coalesce well below it.
+  sim::Time vote_batch_interval = sim::usec(200);
+
+  /// Queue length per destination partition that triggers an immediate
+  /// flush, independent of the interval timer.
+  std::size_t vote_batch_max = 64;
+
+  /// Ride pending votes on messages already going to the destination
+  /// partition's servers (gossip SC, vote-resend liveness traffic,
+  /// cross-partition Paxos forwards) so they cost zero extra messages.
+  /// Only meaningful with vote_batching on.
+  bool vote_piggyback = true;
+
   // --- Checkpointing --------------------------------------------------------
 
   /// Period of application checkpoints: the server serializes its full

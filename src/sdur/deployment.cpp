@@ -177,6 +177,10 @@ Server::Stats Deployment::total_stats() const {
     total.reads_deferred += st.reads_deferred;
     total.pdur_single_core += st.pdur_single_core;
     total.pdur_cross_core += st.pdur_cross_core;
+    total.vote_batches_sent += st.vote_batches_sent;
+    total.votes_batched += st.votes_batched;
+    total.votes_piggybacked += st.votes_piggybacked;
+    total.stale_votes_dropped += st.stale_votes_dropped;
   }
   return total;
 }

@@ -6,6 +6,33 @@ using sim::Message;
 using util::Reader;
 using util::Writer;
 
+namespace {
+
+/// Shared (tx_id, vote)-list codec of VoteBatchMsg and the piggyback
+/// envelope: varint count, then one (u64 id, u8 vote) pair per vote.
+void put_votes(Writer& w, const std::vector<VoteBatchEntry>& votes) {
+  w.varint(votes.size());
+  for (const VoteBatchEntry& e : votes) {
+    w.u64(e.id);
+    w.u8(static_cast<std::uint8_t>(e.vote));
+  }
+}
+
+std::vector<VoteBatchEntry> get_votes(Reader& r) {
+  std::vector<VoteBatchEntry> out;
+  const std::uint64_t n = r.varint();
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VoteBatchEntry e;
+    e.id = r.u64();
+    e.vote = static_cast<Outcome>(r.u8());
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
 Message CommitReqMsg::to_message() const {
   Writer w;
   tx.encode(w);
@@ -95,6 +122,38 @@ VoteMsg VoteMsg::decode(Reader& r) {
   m.id = r.u64();
   m.partition = r.u32();
   m.vote = static_cast<Outcome>(r.u8());
+  return m;
+}
+
+Message VoteBatchMsg::to_message() const {
+  Writer w;
+  w.u32(partition);
+  put_votes(w, votes);
+  return {msgtype::kVoteBatch, std::move(w)};
+}
+
+VoteBatchMsg VoteBatchMsg::decode(Reader& r) {
+  VoteBatchMsg m;
+  m.partition = r.u32();
+  m.votes = get_votes(r);
+  return m;
+}
+
+Message VotePiggybackMsg::to_message() const {
+  Writer w;
+  w.u16(inner_type);
+  w.bytes(inner_payload);
+  w.u32(batch.partition);
+  put_votes(w, batch.votes);
+  return {msgtype::kVotePiggyback, std::move(w)};
+}
+
+VotePiggybackMsg VotePiggybackMsg::decode(Reader& r) {
+  VotePiggybackMsg m;
+  m.inner_type = r.u16();
+  m.inner_payload = r.bytes();
+  m.batch.partition = r.u32();
+  m.batch.votes = get_votes(r);
   return m;
 }
 

@@ -19,8 +19,10 @@ constexpr sim::MsgType kGossipSC = 26;     // server -> servers of other partiti
 constexpr sim::MsgType kSnapshotReq = 27;  // client -> server (read-only txn)
 constexpr sim::MsgType kSnapshotResp = 28; // server -> client
 constexpr sim::MsgType kVoteRequest = 29;  // server -> servers of a silent partition
+constexpr sim::MsgType kVoteBatch = 30;    // server -> servers of other partitions (N votes)
+constexpr sim::MsgType kVotePiggyback = 31;  // envelope: votes riding on another message
 constexpr sim::MsgType kFirst = kCommitReq;
-constexpr sim::MsgType kLast = kVoteRequest;
+constexpr sim::MsgType kLast = kVotePiggyback;
 }  // namespace msgtype
 
 struct CommitReqMsg {
@@ -79,6 +81,39 @@ struct VoteMsg {
 
   sim::Message to_message() const;
   static VoteMsg decode(util::Reader& r);
+};
+
+/// One (transaction, vote) pair inside a batched vote message.
+struct VoteBatchEntry {
+  TxId id = 0;
+  Outcome vote = Outcome::kUnknown;
+};
+
+/// A partition's certification votes for several global transactions,
+/// coalesced by the vote batcher (src/sdur/server.cpp): one wide-area
+/// message replaces up to vote_batch_max per-transaction VoteMsg unicasts
+/// to the same destination partition.
+struct VoteBatchMsg {
+  PartitionId partition = 0;
+  std::vector<VoteBatchEntry> votes;
+
+  sim::Message to_message() const;
+  static VoteBatchMsg decode(util::Reader& r);
+};
+
+/// Envelope: pending outgoing votes piggybacked on a message already
+/// headed to a server of the destination partition (snapshot-counter
+/// gossip, vote-resend liveness traffic, cross-partition Paxos forwards).
+/// The receiver applies the votes, then dispatches the inner message as if
+/// it had arrived alone — so under load most votes cost zero extra
+/// wide-area messages.
+struct VotePiggybackMsg {
+  sim::MsgType inner_type = 0;
+  std::string inner_payload;
+  VoteBatchMsg batch;
+
+  sim::Message to_message() const;
+  static VotePiggybackMsg decode(util::Reader& r);
 };
 
 /// Asks a partition to resend its vote for a pending global transaction

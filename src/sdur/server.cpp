@@ -32,10 +32,23 @@ Server::Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerC
     set_message_service_time(cfg_.pdur.ingress_cost);
     executor_ = std::make_unique<pdur::Executor>(*this, cfg_.pdur);
   }
+  vote_outbox_.resize(cfg_.num_partitions);
+  for (PartitionId p = 0; p < cfg_.num_partitions && p < cfg_.partition_servers.size(); ++p) {
+    const std::vector<sim::ProcessId>& peers = cfg_.partition_servers[p];
+    vote_outbox_[p].cursor.assign(peers.size(), 0);
+    for (std::size_t i = 0; i < peers.size(); ++i) peer_index_[peers[i]] = {p, i};
+  }
   engine_ = std::make_unique<paxos::PaxosEngine>(
       *this, std::move(paxos_cfg), std::make_unique<paxos::InMemoryDurableLog>(),
       [this](const paxos::Value& v) { adeliver(v); });
   engine_->set_install_handler([this](const paxos::Value& blob) { install_state(blob); });
+  if (batching() && cfg_.vote_piggyback) {
+    // Paxos engine traffic is intra-group today, but cross-partition
+    // forwards relayed through the engine (leader changes) also pass here;
+    // the wrapper is identity for same-partition destinations.
+    engine_->set_send_wrapper(
+        [this](sim::ProcessId to, sim::Message m) { return maybe_piggyback_pid(to, std::move(m)); });
+  }
 }
 
 void Server::start() {
@@ -72,11 +85,27 @@ void Server::on_message(const sim::Message& m, sim::ProcessId from) {
       handle_vote(VoteMsg::decode(r));
       break;
     }
+    case msgtype::kVoteBatch: {
+      handle_vote_batch(VoteBatchMsg::decode(r));
+      break;
+    }
+    case msgtype::kVotePiggyback: {
+      const auto env = VotePiggybackMsg::decode(r);
+      handle_vote_batch(env.batch);
+      // Re-dispatch the carried message as if it arrived alone (Paxos
+      // types route through the engine at the top of this function).
+      const sim::Message inner{
+          env.inner_type,
+          sim::Payload(util::Bytes(env.inner_payload.begin(), env.inner_payload.end()))};
+      on_message(inner, from);
+      break;
+    }
     case msgtype::kVoteRequest: {
       const auto msg = VoteRequestMsg::decode(r);
       auto it = own_votes_.find(msg.id);
       if (it != own_votes_.end()) {
-        send(from, VoteMsg{msg.id, cfg_.partition, it->second}.to_message());
+        send(from,
+             maybe_piggyback_pid(from, VoteMsg{msg.id, cfg_.partition, it->second}.to_message()));
       }
       break;
     }
@@ -205,7 +234,8 @@ void Server::abcast(PartitionId p, const PartTx& t) {
   }
   // Hand the value to the remote group's bootstrap contact; its engine
   // relays to the current leader if leadership moved.
-  send(cfg_.partition_servers[p].front(), paxos::Forward{std::move(value)}.to_message());
+  const sim::ProcessId target = cfg_.partition_servers[p].front();
+  send(target, maybe_piggyback_pid(target, paxos::Forward{std::move(value)}.to_message()));
 }
 
 void Server::broadcast_reorder_threshold(std::uint32_t k) {
@@ -495,6 +525,13 @@ void Server::record_own_vote(const PartTx& t, Outcome v) {
 }
 
 void Server::send_vote_to_peers(const PartTx& t, Outcome v) {
+  if (batching()) {
+    for (PartitionId p : t.involved) {
+      if (p == cfg_.partition) continue;
+      enqueue_vote(p, t.id, v);
+    }
+    return;
+  }
   const VoteMsg vote{t.id, cfg_.partition, v};
   const sim::Message msg = vote.to_message();
   for (PartitionId p : t.involved) {
@@ -522,22 +559,137 @@ Outcome Server::combined_outcome(const PendingEntry& p) const {
   return Outcome::kCommit;
 }
 
-void Server::handle_vote(const VoteMsg& m) {
+bool Server::apply_vote(TxId id, PartitionId partition, Outcome vote) {
   // Votes for transactions already completed here are stale; only keep
-  // votes for pending or not-yet-delivered transactions.
-  bool in_pl = false;
-  for (std::size_t i = 0; i < cert_.size(); ++i) {
-    if (cert_.at(i).tx.id == m.id) {
-      in_pl = true;
-      break;
-    }
+  // votes for pending or not-yet-delivered transactions. The certifier's
+  // id index answers "still pending?" in one hash probe — this used to be
+  // an O(pending) scan per incoming vote.
+  const bool completed = seen_.contains(id) && !cert_.pending_contains(id);
+  if (completed) {
+    ++stats_.stale_votes_dropped;
+    return false;
   }
-  const bool completed = seen_.contains(m.id) && !in_pl;
-  if (completed) return;
-  auto& entry = votes_[m.id];
-  auto [it, inserted] = entry.try_emplace(m.partition, m.vote);
-  if (!inserted && it->second == Outcome::kUnknown) it->second = m.vote;
-  drain_pending();
+  auto& entry = votes_[id];
+  auto [it, inserted] = entry.try_emplace(partition, vote);
+  if (!inserted && it->second == Outcome::kUnknown) it->second = vote;
+  return true;
+}
+
+void Server::handle_vote(const VoteMsg& m) {
+  // Stale votes skip the drain entirely (legacy early return): an extra
+  // drain_pending could arm the threshold tick at a different time and
+  // break cross-build determinism.
+  if (apply_vote(m.id, m.partition, m.vote)) drain_pending();
+}
+
+void Server::handle_vote_batch(const VoteBatchMsg& m) {
+  // One drain covers the whole batch: completion work amortizes over N
+  // votes instead of running once per vote message.
+  bool recorded = false;
+  for (const VoteBatchEntry& e : m.votes) {
+    recorded = apply_vote(e.id, m.partition, e.vote) || recorded;
+  }
+  if (recorded) drain_pending();
+}
+
+// --- Vote batching (see DESIGN.md "Vote exchange & batching") -----------------
+
+void Server::enqueue_vote(PartitionId p, TxId id, Outcome v) {
+  if (p >= vote_outbox_.size()) return;
+  VoteOutbox& box = vote_outbox_[p];
+  box.queue.push_back(VoteBatchEntry{id, v});
+  if (box.queue.size() >= cfg_.vote_batch_max) {
+    flush_votes_for(p);
+    return;
+  }
+  if (!vote_flush_pending_) {
+    // One timer serves every destination queue; epoch-guarded, so a crash
+    // kills it and on_recover starts from an empty outbox.
+    vote_flush_pending_ = true;
+    set_timer(cfg_.vote_batch_interval, [this] { flush_votes(); });
+  }
+}
+
+void Server::flush_votes() {
+  vote_flush_pending_ = false;
+  for (PartitionId p = 0; p < static_cast<PartitionId>(vote_outbox_.size()); ++p) {
+    flush_votes_for(p);
+  }
+}
+
+void Server::flush_votes_for(PartitionId p) {
+  VoteOutbox& box = vote_outbox_[p];
+  if (box.queue.empty()) return;
+  const std::vector<sim::ProcessId>& peers = cfg_.partition_servers[p];
+  std::size_t min_cursor = box.queue.size();
+  bool uniform = true;
+  for (std::size_t c : box.cursor) {
+    min_cursor = std::min(min_cursor, c);
+    uniform = uniform && c == box.cursor.front();
+  }
+  if (min_cursor < box.queue.size()) {
+    scratch_batch_.partition = cfg_.partition;
+    if (uniform) {
+      // Every replica is missing the same suffix: encode once, share the
+      // refcounted payload across the fan-out.
+      scratch_batch_.votes.assign(box.queue.begin() + static_cast<std::ptrdiff_t>(min_cursor),
+                                  box.queue.end());
+      const sim::Message msg = scratch_batch_.to_message();
+      for (sim::ProcessId peer : peers) send(peer, msg);
+      stats_.vote_batches_sent += peers.size();
+    } else {
+      // Piggybacks already carried prefixes to some replicas: send each
+      // replica only what it is missing.
+      for (std::size_t i = 0; i < peers.size() && i < box.cursor.size(); ++i) {
+        if (box.cursor[i] >= box.queue.size()) continue;
+        scratch_batch_.votes.assign(box.queue.begin() + static_cast<std::ptrdiff_t>(box.cursor[i]),
+                                    box.queue.end());
+        send(peers[i], scratch_batch_.to_message());
+        ++stats_.vote_batches_sent;
+      }
+    }
+    stats_.votes_batched += box.queue.size() - min_cursor;
+    SDUR_TRACE_INSTANT(trace_track_, trace::Point::kVoteFlush, p, now(),
+                       box.queue.size() - min_cursor);
+  }
+  box.queue.clear();
+  std::fill(box.cursor.begin(), box.cursor.end(), 0);
+}
+
+sim::Message Server::maybe_piggyback(PartitionId p, std::size_t replica_index, sim::Message m) {
+  if (!batching() || !cfg_.vote_piggyback) return m;
+  if (m.type == msgtype::kVoteBatch || m.type == msgtype::kVotePiggyback) return m;
+  if (p == cfg_.partition || p >= vote_outbox_.size()) return m;
+  VoteOutbox& box = vote_outbox_[p];
+  if (replica_index >= box.cursor.size()) return m;
+  std::size_t& cur = box.cursor[replica_index];
+  if (cur >= box.queue.size()) return m;
+  VotePiggybackMsg env;
+  env.inner_type = m.type;
+  const util::Bytes& b = m.payload.bytes();
+  env.inner_payload.assign(b.begin(), b.end());
+  env.batch.partition = cfg_.partition;
+  env.batch.votes.assign(box.queue.begin() + static_cast<std::ptrdiff_t>(cur), box.queue.end());
+  stats_.votes_piggybacked += env.batch.votes.size();
+  SDUR_TRACE_INSTANT(trace_track_, trace::Point::kVotePiggyback, p, now(),
+                     env.batch.votes.size());
+  cur = box.queue.size();
+  // If every replica now has the full queue, drop it (nothing left for the
+  // interval flush to send).
+  bool all_caught_up = true;
+  for (std::size_t c : box.cursor) all_caught_up = all_caught_up && c >= box.queue.size();
+  if (all_caught_up) {
+    box.queue.clear();
+    std::fill(box.cursor.begin(), box.cursor.end(), 0);
+  }
+  return env.to_message();
+}
+
+sim::Message Server::maybe_piggyback_pid(sim::ProcessId to, sim::Message m) {
+  if (!batching() || !cfg_.vote_piggyback) return m;
+  const auto it = peer_index_.find(to);
+  if (it == peer_index_.end()) return m;
+  return maybe_piggyback(it->second.first, it->second.second, std::move(m));
 }
 
 // --- Reads ---------------------------------------------------------------------
@@ -619,7 +771,10 @@ void Server::gossip_tick() {
     const sim::Message msg = GossipSCMsg{cfg_.partition, cert_.stable()}.to_message();
     for (PartitionId p = 0; p < cfg_.num_partitions; ++p) {
       if (p == cfg_.partition) continue;
-      for (sim::ProcessId peer : cfg_.partition_servers[p]) send(peer, msg);
+      const std::vector<sim::ProcessId>& peers = cfg_.partition_servers[p];
+      for (std::size_t i = 0; i < peers.size(); ++i) {
+        send(peers[i], maybe_piggyback(p, i, msg));
+      }
     }
   }
   set_timer(cfg_.gossip_interval, [this] { gossip_tick(); });
@@ -642,7 +797,10 @@ void Server::liveness_tick() {
         if (part == cfg_.partition) continue;
         if (votes_it != votes_.end() && votes_it->second.contains(part)) continue;
         const sim::Message req = VoteRequestMsg{p.tx.id}.to_message();
-        for (sim::ProcessId peer : cfg_.partition_servers[part]) send(peer, req);
+        const std::vector<sim::ProcessId>& peers = cfg_.partition_servers[part];
+        for (std::size_t j = 0; j < peers.size(); ++j) {
+          send(peers[j], maybe_piggyback(part, j, req));
+        }
       }
     }
     if (!p.abort_requested && t_now - p.delivered_at >= cfg_.missing_vote_timeout &&
@@ -766,6 +924,14 @@ void Server::on_recover() {
   last_gossiped_sc_ = -1;
   deferred_reads_.clear();
   tick_pending_ = false;
+  // The vote outbox is volatile: queued votes die with the replica (the
+  // flush timer is epoch-guarded and never fires after a crash); recovery
+  // replay re-votes, and the resend/vote-request repair covers the rest.
+  for (VoteOutbox& box : vote_outbox_) {
+    box.queue.clear();
+    std::fill(box.cursor.begin(), box.cursor.end(), 0);
+  }
+  vote_flush_pending_ = false;
   stats_ = Stats{};
   // Replays the decided prefix through adeliver(), rebuilding SC/DC/window
   // deterministically, then rejoins the group as a follower.

@@ -56,6 +56,10 @@ class Server : public sim::Process {
     std::uint64_t reads_deferred = 0;
     std::uint64_t pdur_single_core = 0;  // txns homed on one core (P-DUR fast path)
     std::uint64_t pdur_cross_core = 0;   // txns that paid the cross-core barrier
+    std::uint64_t vote_batches_sent = 0;   // VoteBatchMsg flushes (per destination replica)
+    std::uint64_t votes_batched = 0;       // votes carried by explicit batch flushes
+    std::uint64_t votes_piggybacked = 0;   // votes that rode existing traffic for free
+    std::uint64_t stale_votes_dropped = 0; // votes for already-completed transactions
   };
 
   Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerConfig cfg,
@@ -123,6 +127,30 @@ class Server : public sim::Process {
   bool has_all_votes(const PendingEntry& p) const;
   Outcome combined_outcome(const PendingEntry& p) const;
   void handle_vote(const VoteMsg& m);
+  /// Records one vote; returns false when the vote was stale (transaction
+  /// already completed here — dropped, exactly like the legacy early
+  /// return, so callers only drain_pending on recorded votes). The
+  /// stale-drop check is one probe of the certifier's id index instead of
+  /// the O(pending) scan handle_vote used to run per vote.
+  bool apply_vote(TxId id, PartitionId partition, Outcome vote);
+  void handle_vote_batch(const VoteBatchMsg& m);
+
+  // --- Vote batching (see DESIGN.md "Vote exchange & batching") --------------
+  /// Batching is a cross-partition optimization; single-partition
+  /// deployments have no vote exchange to batch.
+  bool batching() const { return cfg_.vote_batching && cfg_.num_partitions > 1; }
+  /// Queues a vote for partition p; flushes at vote_batch_max, else arms
+  /// one vote_batch_interval timer covering all destination queues.
+  void enqueue_vote(PartitionId p, TxId id, Outcome v);
+  void flush_votes();
+  void flush_votes_for(PartitionId p);
+  /// Wraps a message headed to replica `replica_index` of partition `p` in
+  /// a VotePiggybackMsg carrying that replica's pending vote suffix;
+  /// returns the message unchanged when there is nothing to carry.
+  sim::Message maybe_piggyback(PartitionId p, std::size_t replica_index, sim::Message m);
+  /// Same, resolving an arbitrary destination process id (Paxos forwards,
+  /// vote-request replies) to its (partition, replica) coordinates.
+  sim::Message maybe_piggyback_pid(sim::ProcessId to, sim::Message m);
 
   // --- Reads ------------------------------------------------------------------
   void handle_read(std::uint64_t reqid, sim::ProcessId client, Key key, Version snapshot);
@@ -183,6 +211,26 @@ class Server : public sim::Process {
     Version snapshot;
   };
   std::deque<DeferredRead> deferred_reads_;
+
+  /// Per-destination-partition vote outbox. `cursor[i]` is the queue
+  /// prefix already carried to replica i of that partition by a piggyback
+  /// (every replica of every involved partition needs every vote; votes
+  /// are idempotent, so over-delivery is harmless but under-delivery would
+  /// stall completion until the vote-resend repair). The outbox is
+  /// volatile — not checkpointed; after a crash the resend/vote-request
+  /// machinery re-sources anything lost.
+  struct VoteOutbox {
+    std::vector<VoteBatchEntry> queue;
+    std::vector<std::size_t> cursor;  // one per replica of the partition
+  };
+  std::vector<VoteOutbox> vote_outbox_;
+  bool vote_flush_pending_ = false;
+  /// Reused flush scratch so steady-state flushes allocate only on queue
+  /// high-water growth.
+  VoteBatchMsg scratch_batch_;
+  /// Destination pid -> (partition, replica index), for piggybacking on
+  /// unicasts addressed by process id.
+  std::unordered_map<sim::ProcessId, std::pair<PartitionId, std::size_t>> peer_index_;
 
   std::unique_ptr<paxos::PaxosEngine> engine_;
   /// P-DUR core executor; null in the serial (cores == 1) model.

@@ -27,7 +27,9 @@ std::string quoted(const std::string& s) {
 const char* category(Point p) {
   switch (p) {
     case Point::kConsensus: return "paxos";
-    case Point::kVoteWait: return "votes";
+    case Point::kVoteWait:
+    case Point::kVoteFlush:
+    case Point::kVotePiggyback: return "votes";
     case Point::kLaneWork:
     case Point::kLaneWait: return "lane";
     case Point::kCertIndexProbe:

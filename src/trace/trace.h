@@ -56,6 +56,8 @@ enum class Point : std::uint8_t {
   // Instants.
   kCertIndexProbe,    // certification served by the key index (aux: lane/depth)
   kCertScanFallback,  // bloom sets forced the window/lane scan (aux: lane/depth)
+  kVoteFlush,         // vote batcher flushed a queue (id: dest partition, aux: votes)
+  kVotePiggyback,     // pending votes rode an outgoing message (aux: votes)
   kPointCount,
 };
 
@@ -228,6 +230,8 @@ class Tracer {
 #define SDUR_TRACE_CLEAR_CONTEXT() ::sdur::trace::Tracer::instance().clear_context()
 #define SDUR_TRACE_CONTEXT_INSTANT(point, aux) \
   ::sdur::trace::Tracer::instance().record_context_instant((point), (aux))
+#define SDUR_TRACE_INSTANT(track, point, id_, t, aux) \
+  ::sdur::trace::Tracer::instance().record_instant((track), (point), (id_), (t), (aux))
 /// Compiles `...` in traced builds only (for instrumentation that needs
 /// locals, e.g. reconstructing a lane's reservation window).
 #define SDUR_TRACE_STMT(...) __VA_ARGS__
@@ -238,5 +242,6 @@ class Tracer {
 #define SDUR_TRACE_SET_CONTEXT(track, id_, t) ((void)0)
 #define SDUR_TRACE_CLEAR_CONTEXT() ((void)0)
 #define SDUR_TRACE_CONTEXT_INSTANT(point, aux) ((void)0)
+#define SDUR_TRACE_INSTANT(track, point, id_, t, aux) ((void)0)
 #define SDUR_TRACE_STMT(...)
 #endif

@@ -18,6 +18,8 @@ const char* to_string(Point p) {
     case Point::kLaneWait: return "lane.wait";
     case Point::kCertIndexProbe: return "cert.index_probe";
     case Point::kCertScanFallback: return "cert.scan_fallback";
+    case Point::kVoteFlush: return "vote.flush";
+    case Point::kVotePiggyback: return "vote.piggyback";
     case Point::kPointCount: break;
   }
   return "?";

@@ -1,0 +1,30 @@
+// Fixture: vote-exchange hot path. `handle_vote*` and `flush_votes*`
+// bodies are hot (once per received vote / per batch window);
+// `enqueue_vote` is not, so identical constructs there must stay silent.
+
+namespace sdur {
+
+void Server::handle_vote_batch(const VoteBatchMsg& batch) {
+  Bytes copy = batch.payload_;        // positive: container deep-copy
+  auto* slot = new VoteSlot();        // positive: hotpath-alloc
+  if (copy.empty()) {
+    throw std::logic_error("empty");  // positive: hotpath-throw
+  }
+  apply(copy, slot);
+}
+
+void Server::flush_votes_for(PartitionId dst, Bytes pending) {  // positive: by-value param
+  auto owned = std::make_unique<VoteSlot>();  // positive: hotpath-alloc
+  const Bytes& ref = pending;                 // negative: reference
+  Bytes framed = frame(pending);              // negative: move from a call
+  send(dst, ref, framed, owned.get());
+}
+
+void Server::enqueue_vote(const Vote& v) {
+  Bytes copy = v.payload_;  // negative: not a hot function
+  auto* scratch = new VoteSlot();
+  (void)copy;
+  (void)scratch;
+}
+
+}  // namespace sdur

@@ -17,7 +17,10 @@ out of the functions on that path:
 Hot functions are matched by name, per the certification call graph:
 `certify*`, anything containing `conflict` (conflicts_*, scan_conflict,
 indexed_conflict, has_conflict, reads_conflict, writes_conflict), and
-`scan_after`. Under src/trace/ the span-emit path is hot too: every
+`scan_after`. Under src/sdur/ the vote-exchange path is hot too:
+`handle_vote*` bodies run once per received vote (unicast, batch entry,
+or piggybacked ride) and `flush_votes*` once per batch window per
+destination partition. Under src/trace/ the span-emit path is hot: every
 instrumented protocol step calls Tracer::record_*/append per delivered
 transaction, and the tracer's zero-allocation-at-steady-state contract
 (see src/trace/trace.h) dies if those bodies allocate or throw — there
@@ -40,6 +43,12 @@ _CHAIN_OK = {".", "->", "::"}
 
 def _is_hot(name: str, rel: str) -> bool:
     if name == "scan_after" or name.startswith("certify") or "conflict" in name:
+        return True
+    # The vote delivery/flush path (src/sdur/): handle_vote* runs once per
+    # received vote (unicast, batch entry, or piggybacked ride) and
+    # flush_votes* once per batch window per destination partition — see
+    # DESIGN.md "Vote exchange & batching".
+    if rel.startswith("src/sdur/") and name.startswith(("handle_vote", "flush_votes")):
         return True
     # The tracer's record/emit/append path runs once per instrumented
     # protocol step; its zero-alloc contract is load-bearing.
@@ -154,18 +163,20 @@ def run_hotpath_hygiene(ctx: Context):
 RULES = [
     Rule("hotpath-alloc",
          "no new/make_unique/make_shared in certify/conflicts_*/scan_after "
-         "bodies, nor in src/trace/ record*/emit*/append* span-emit bodies",
+         "bodies, src/sdur/ handle_vote*/flush_votes* vote-exchange bodies, "
+         "or src/trace/ record*/emit*/append* span-emit bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-alloc"),
          suggestion="preallocate outside the certification path (arena/ring "
                     "patterns, see storage/commit_window.h)"),
     Rule("hotpath-container-copy",
          "no container deep-copies (locals copy-initialized from lvalues, "
-         "by-value container parameters) in hot certification bodies",
+         "by-value container parameters) in hot certification or "
+         "vote-exchange bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-container-copy"),
          suggestion="take const&, or reuse a scratch buffer owned by the caller"),
     Rule("hotpath-throw",
          "no throwing constructs in audit-off protocol hot paths "
-         "(certification and trace span-emit)",
+         "(certification, vote exchange, and trace span-emit)",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-throw"),
          suggestion="return a verdict, or guard the invariant with SDUR_AUDIT_CHECK "
                     "(compiled out in benchmark builds)"),

@@ -14,6 +14,8 @@
 #include <fstream>
 #include <string>
 
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 #include "workload/driver.h"
 #include "workload/microbench.h"
@@ -44,6 +46,8 @@ struct Options {
   double seconds = 10.0;
   std::uint64_t seed = 1;
   std::int64_t checkpoint_ms = 0;
+  std::int64_t vote_batch_us = -1;  // -1 = off, 0 = on at default interval, >0 us
+  bool breakdown = false;
   std::string csv;
   bool verbose = false;
 };
@@ -66,6 +70,10 @@ void usage() {
       "  --bloom                      bloom-filter readsets\n"
       "  --certified-ro               certify read-only transactions (social)\n"
       "  --checkpoint MS              checkpoint interval (default off)\n"
+      "  --vote-batch [US]            batch cross-partition votes; optional flush\n"
+      "                               interval in microseconds (default 200)\n"
+      "  --breakdown                  print the per-stage latency attribution table\n"
+      "                               (needs an SDUR_TRACE=1 build)\n"
       "  --seconds S                  measurement window (default 10)\n"
       "  --seed N                     RNG seed (default 1)\n"
       "  --csv FILE                   dump per-class latency CDFs as CSV\n"
@@ -99,6 +107,10 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--bloom") o.bloom = true;
     else if (a == "--certified-ro") o.certified_ro = true;
     else if (a == "--checkpoint") o.checkpoint_ms = std::atoll(need(i));
+    else if (a == "--vote-batch") {
+      o.vote_batch_us = 0;
+      if (i + 1 < argc && argv[i + 1][0] != '-') o.vote_batch_us = std::atoll(argv[++i]);
+    } else if (a == "--breakdown") o.breakdown = true;
     else if (a == "--seconds") o.seconds = std::atof(need(i));
     else if (a == "--seed") o.seed = std::strtoull(need(i), nullptr, 10);
     else if (a == "--csv") o.csv = need(i);
@@ -143,6 +155,8 @@ int main(int argc, char** argv) {
     spec.server.fixed_delay = o.delay_ms > 0 ? sim::msec(o.delay_ms) : 0;
     spec.server.bloom_readsets = o.bloom;
     spec.server.checkpoint_interval = o.checkpoint_ms > 0 ? sim::msec(o.checkpoint_ms) : 0;
+    spec.server.vote_batching = o.vote_batch_us >= 0;
+    if (o.vote_batch_us > 0) spec.server.vote_batch_interval = sim::usec(o.vote_batch_us);
     spec.seed = o.seed;
     if (o.workload == "micro") {
       spec.partitioning = MicroWorkload::make_partitioning(o.partitions, o.items);
@@ -194,6 +208,22 @@ int main(int argc, char** argv) {
                 o.load_fraction * 100);
   }
 
+  // Arm the tracer after the auto-load probes (their deployments must not
+  // register tracks) and before the final deployment is built (track
+  // registration happens in the Server/Client/PaxosEngine constructors).
+#if SDUR_TRACE
+  if (o.breakdown) {
+    auto& tracer = trace::Tracer::instance();
+    tracer.set_ring_capacity(1u << 20);
+    tracer.set_enabled(true);
+  }
+#else
+  if (o.breakdown) {
+    std::fprintf(stderr, "sdur_sim: --breakdown needs an SDUR_TRACE=1 build; ignoring\n");
+    o.breakdown = false;
+  }
+#endif
+
   Deployment dep(make_spec());
   auto wl = make_workload();
   const RunResult r = run_experiment(dep, *wl, cfg);
@@ -225,6 +255,47 @@ int main(int argc, char** argv) {
                   ? 0.0
                   : static_cast<double>(r.net.bytes_sent) /
                         static_cast<double>(r.servers.committed_local + r.servers.committed_global));
+
+  if (r.servers.votes_batched + r.servers.votes_piggybacked > 0) {
+    std::printf("votes: batches=%llu batched=%llu piggybacked=%llu stale-dropped=%llu\n",
+                static_cast<unsigned long long>(r.servers.vote_batches_sent),
+                static_cast<unsigned long long>(r.servers.votes_batched),
+                static_cast<unsigned long long>(r.servers.votes_piggybacked),
+                static_cast<unsigned long long>(r.servers.stale_votes_dropped));
+  }
+
+#if SDUR_TRACE
+  if (o.breakdown) {
+    auto& tracer = trace::Tracer::instance();
+    tracer.set_enabled(false);
+    const trace::Breakdown b = trace::build_breakdown(tracer);
+    std::printf("\nlatency attribution (complete committed chains only):\n");
+    const struct {
+      const char* name;
+      const trace::Breakdown::Class* c;
+    } classes[] = {{"local", &b.local}, {"global", &b.global}};
+    for (const auto& [name, c] : classes) {
+      if (c->chains == 0) continue;
+      std::printf("  %-8s (%llu chains): e2e mean %.1f ms, p99 %.1f ms\n", name,
+                  static_cast<unsigned long long>(c->chains), c->e2e.mean() / 1000.0,
+                  static_cast<double>(c->e2e.percentile(99)) / 1000.0);
+      for (std::size_t s = 0; s < trace::Breakdown::kStages; ++s) {
+        const util::Histogram& h = c->stage[s];
+        const double share = c->e2e.mean() > 0 ? 100.0 * h.mean() / c->e2e.mean() : 0;
+        std::printf("    %-12s mean %8.2f ms (%5.1f%%)  p99 %8.2f ms\n",
+                    trace::Breakdown::stage_name(s), h.mean() / 1000.0, share,
+                    static_cast<double>(h.percentile(99)) / 1000.0);
+      }
+    }
+    if (b.local.chains == 0 && b.global.chains == 0) {
+      std::printf("  (no complete chains attributed — run longer or enlarge the ring)\n");
+    }
+    std::printf("  (aborted %llu, incomplete %llu chains; ring dropped %llu records)\n",
+                static_cast<unsigned long long>(b.aborted_chains),
+                static_cast<unsigned long long>(b.incomplete_chains),
+                static_cast<unsigned long long>(tracer.records_dropped()));
+  }
+#endif  // SDUR_TRACE
 
   if (!o.csv.empty()) {
     std::ofstream out(o.csv);
