@@ -203,6 +203,9 @@ struct MicroSetup {
   /// Batch flush interval; 0 keeps the ServerConfig default.
   sim::Time vote_batch_interval = 0;
   bool vote_piggyback = true;
+  /// Out-of-order local commit (see DESIGN.md "Out-of-order local
+  /// commit"); default off = locals drain strictly in delivery order.
+  bool ooo_bypass = false;
 };
 
 inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
@@ -218,6 +221,7 @@ inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
   spec.server.vote_batching = s.vote_batching;
   if (s.vote_batch_interval > 0) spec.server.vote_batch_interval = s.vote_batch_interval;
   spec.server.vote_piggyback = s.vote_piggyback;
+  spec.server.ooo_bypass = s.ooo_bypass;
   spec.seed = s.seed;
   return std::make_unique<Deployment>(spec);
 }

@@ -60,7 +60,8 @@ selected = set(os.environ.get("SDUR_BENCH_FILTER", "").split())
 # Report names that differ from their binary's basename (the filter is
 # given binary names on the command line).
 aliases = {"trace_breakdown": "latency_breakdown",
-           "vote_batching": "ablation_vote_batching"}
+           "vote_batching": "ablation_vote_batching",
+           "convoy_bypass": "ablation_convoy_bypass"}
 entry = trajectory.get(sha, {})
 for f in sorted(json_dir.glob("BENCH_*.json")):
     name = f.stem.removeprefix("BENCH_")

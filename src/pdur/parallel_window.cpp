@@ -130,6 +130,45 @@ bool ParallelWindow::conflicts(const util::KeySet& readset, const util::KeySet& 
   return false;
 }
 
+// --- Out-of-order local commit (cfg.ooo_bypass) -------------------------------
+
+void ParallelWindow::pending_insert(storage::Version v, const util::KeySet& write_keys) {
+  // One insert per home lane of the write set, carrying the lane's
+  // projection (cold-ish path: once per committed delivery, same idiom as
+  // insert() above).
+  for (CoreId c = 0; c < part_.cores(); ++c) {
+    util::KeySet ws_c = project(write_keys, part_, c);
+    if (ws_c.empty()) continue;
+    lanes_[c].pending.insert(v, util::KeySet(), ws_c);
+  }
+}
+
+void ParallelWindow::pending_evict(storage::Version v, const util::KeySet& write_keys) {
+  for (CoreId c = 0; c < part_.cores(); ++c) {
+    util::KeySet ws_c = project(write_keys, part_, c);
+    if (ws_c.empty()) continue;
+    lanes_[c].pending.evict(v, util::KeySet(), ws_c);
+  }
+}
+
+void ParallelWindow::pending_clear() {
+  for (auto& lane : lanes_) lane.pending.clear();
+}
+
+bool ParallelWindow::pending_writes_conflict(const util::KeySet& readset,
+                                             const util::KeySet& write_keys,
+                                             const std::vector<CoreId>& cores) const {
+  // Snapshot 0 turns the last-writer probe into an existence probe
+  // (versions start at 1). Probe keys homed elsewhere cannot be in this
+  // lane's table, so no projection is needed — and none is allocated.
+  for (CoreId c : cores) {
+    const Lane& lane = lanes_[c];
+    if (lane.pending.reads_conflict(readset, 0)) return true;
+    if (lane.pending.reads_conflict(write_keys, 0)) return true;
+  }
+  return false;
+}
+
 void ParallelWindow::evict_below(storage::Version base) {
   for (auto& lane : lanes_) {
     while (!lane.entries.empty() && lane.entries.front().version < base) {
@@ -144,6 +183,7 @@ void ParallelWindow::clear() {
   for (auto& lane : lanes_) {
     lane.entries.clear();
     lane.index.clear();
+    lane.pending.clear();
   }
   scanned_ = 0;
 }

@@ -66,6 +66,23 @@ class ParallelWindow {
 
   void clear();
 
+  // --- Out-of-order local commit (cfg.ooo_bypass) -------------------------
+  /// Per-lane sub-indexes over the write keys of the still-pending
+  /// entries — the per-core decomposition of the certifier's pending-write
+  /// bypass gate. Write keys are always exact; versions arrive ascending
+  /// per lane (assigned at delivery / sorted on rebuild). Only the
+  /// certifier's bypass path calls these; legacy runs never touch them.
+  void pending_insert(storage::Version v, const util::KeySet& write_keys);
+  void pending_evict(storage::Version v, const util::KeySet& write_keys);
+  void pending_clear();
+  /// Gate trigger over the transaction's home cores (exact probe sets
+  /// only; the certifier handles bloom readsets upstream). Each home lane
+  /// probes with the full sets: a lane's pending index only holds keys
+  /// homed on it, so foreign probe keys miss by construction and the union
+  /// of lane verdicts equals the serial pending-index probe.
+  bool pending_writes_conflict(const util::KeySet& readset, const util::KeySet& write_keys,
+                               const std::vector<CoreId>& cores) const;
+
   /// Total lane entries currently held (across cores).
   std::size_t entry_count() const;
   /// Entries in one core's lane.
@@ -84,6 +101,7 @@ class ParallelWindow {
   struct Lane {
     std::deque<Entry> entries;        // version-ascending
     storage::CertIndex index;         // sub-index over the projections
+    storage::CertIndex pending;       // bypass gate: pending write keys homed here
   };
 
   /// Lane vote via the legacy scan over the lane's (st, +inf) suffix.

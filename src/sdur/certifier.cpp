@@ -150,9 +150,16 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
     std::size_t leftmost = pl_.size();
     for (std::size_t k = pl_.size(); k-- > 0;) {
       const PendingEntry& pk = pl_[k];
+      // Under the bypass gate a local must additionally be write-disjoint
+      // from any global it leaps: a blind-write local leaping a global it
+      // write-conflicts with would park behind an entry *behind* itself —
+      // the head could never unblock. Without blind writes ws(t) is a
+      // subset of rs(t) and the extra conjunct is implied; gated on the
+      // config so the default-off path stays bit-identical.
       const bool leapable = pk.tx.is_global() && pk.rt >= dc &&
                             !t.write_keys.intersects(pk.tx.readset) &&
-                            !t.readset.intersects(pk.tx.write_keys);
+                            !t.readset.intersects(pk.tx.write_keys) &&
+                            (!ooo_bypass_ || !t.write_keys.intersects(pk.tx.write_keys));
       if (!leapable) break;
       leftmost = k;
     }
@@ -169,6 +176,13 @@ Certifier::Result Certifier::process(const PartTx& t, std::uint64_t rt, std::uin
   pl_.insert(pl_.begin() + static_cast<std::ptrdiff_t>(position),
              PendingEntry{t, rt, result.version, 0, 0, false, true});
   pending_ids_.insert(t.id);
+  if (ooo_bypass_) {
+    // Park gate first (the new entry must not probe its own writes), then
+    // register the entry's write keys in the pending-write index.
+    if (!t.is_global()) park_on_insert(position, t, result);
+    pending_ws_.insert(result.version, util::KeySet(), t.write_keys);
+    if (parallel()) window_->pending_insert(result.version, t.write_keys);
+  }
   // The window holds exactly one slot per assigned version in [base, cc]:
   // a gap would let a conflicting transaction escape certification.
   SDUR_AUDIT_CHECK("certifier", "window-contiguous",
@@ -182,7 +196,121 @@ PendingEntry Certifier::pop_head() {
   PendingEntry e = std::move(pl_.front());
   pl_.pop_front();
   pending_ids_.erase(e.tx.id);
+  if (ooo_bypass_) unpark_on_removal(e);
   return e;
+}
+
+// --- Out-of-order local commit (cfg.ooo_bypass) -------------------------------
+
+bool Certifier::pending_writes_conflict(const PartTx& t) const {
+  // O(sets) existence probe with snapshot 0: versions start at 1, so "some
+  // indexed pending writer newer than 0" is exactly "some pending entry
+  // writes a probed key". Pending write keys are always exact, so the
+  // index's bloom suffixes stay empty and no fallback scan is needed here.
+  return pending_ws_.reads_conflict(t.readset, 0) ||
+         pending_ws_.reads_conflict(t.write_keys, 0);
+}
+
+Version Certifier::park_bound(std::size_t position, const PartTx& t) const {
+  // Exact bound over the entries ahead. A pending global counts when t
+  // reads or writes a key it writes (write-version order for ws cap ws;
+  // delivery-order read equivalence for rs cap ws — the latter only
+  // arises for snapshot-bottom blind writes, certification aborts every
+  // other case). A pending local counts when write-conflicting, and
+  // contributes its own bound: it must apply first (smaller version), so
+  // t can go no earlier than it does.
+  Version bound = 0;
+  for (std::size_t k = 0; k < position; ++k) {
+    const PendingEntry& pk = pl_[k];
+    if (pk.tx.is_global()) {
+      if (t.readset.intersects(pk.tx.write_keys) ||
+          t.write_keys.intersects(pk.tx.write_keys)) {
+        bound = std::max(bound, pk.version);
+      }
+    } else if (t.write_keys.intersects(pk.tx.write_keys)) {
+      bound = std::max(bound, pk.park_until);
+    }
+  }
+  return bound;
+}
+
+void Certifier::park_on_insert(std::size_t position, const PartTx& t, Result& result) {
+  bool hit;
+  if (t.readset.is_bloom() && !t.readset.empty()) {
+    // A bloom probe readset cannot drive key probes; treat it as a hit and
+    // let the exact bound decide (mirrors the certification fallback).
+    hit = true;
+  } else if (parallel()) {
+    hit = window_->pending_writes_conflict(t.readset, t.write_keys, result.cores);
+    // The per-lane decomposition must reproduce the serial pending probe —
+    // a key is homed on exactly one core, so the union of lane hits equals
+    // the full-index hit.
+    SDUR_AUDIT_CHECK("pdur", "bypass-gate-equivalence",
+                     hit == pending_writes_conflict(t),
+                     "per-lane pending-write probe for tx "
+                         << t.id << " (" << (hit ? "hit" : "clear")
+                         << ") diverges from the serial pending-write index");
+  } else {
+    hit = pending_writes_conflict(t);
+  }
+  // The trigger over-approximates the bound (it also hits on rs(t) vs
+  // pending-local writes) but must cover it: a missed hit with a nonzero
+  // bound would let a conflicting local bypass.
+  SDUR_AUDIT_CHECK("certifier", "bypass-gate-coverage", hit || park_bound(position, t) == 0,
+                   "pending-write probe missed a nonzero park bound for tx " << t.id);
+  Version bound = hit ? park_bound(position, t) : 0;
+  if (test_skip_park_gate_) bound = 0;
+  pl_[position].park_until = bound;
+  result.parked = bound > bypass_watermark_;
+}
+
+void Certifier::unpark_on_removal(const PendingEntry& e) {
+  // Per-key eviction order stays ascending: the gate itself forbids a
+  // newer pending writer of a key completing before an older one.
+  pending_ws_.evict(e.version, util::KeySet(), e.tx.write_keys);
+  if (parallel()) window_->pending_evict(e.version, e.tx.write_keys);
+  if (e.tx.is_global() && e.version > bypass_watermark_) bypass_watermark_ = e.version;
+}
+
+std::size_t Certifier::next_bypassable(std::size_t from) const {
+  for (std::size_t k = from; k < pl_.size(); ++k) {
+    const PendingEntry& e = pl_[k];
+    if (e.ready && !e.tx.is_global() && e.park_until <= bypass_watermark_) return k;
+  }
+  return npos;
+}
+
+PendingEntry Certifier::take_at(std::size_t pos) {
+  PendingEntry e = std::move(pl_[pos]);
+  pl_.erase(pl_.begin() + static_cast<std::ptrdiff_t>(pos));
+  pending_ids_.erase(e.tx.id);
+  if (ooo_bypass_) unpark_on_removal(e);
+  return e;
+}
+
+void Certifier::park_rebuild() {
+  // Checkpoints do not carry park bounds or the watermark (the format
+  // predates the bypass and stays frozen); both are pure functions of the
+  // restored pending list, so every replica recomputes identical state.
+  // The watermark restarts at 0: completed globals left the list before
+  // the checkpoint, so no restored local still waits on one.
+  pending_ws_.clear();
+  if (parallel()) window_->pending_clear();
+  bypass_watermark_ = 0;
+  // The pending-write index wants version-ascending inserts; pl_ is in
+  // delivery/reorder order (leaped locals sit ahead of smaller versions).
+  std::vector<std::size_t> by_version(pl_.size());
+  for (std::size_t i = 0; i < pl_.size(); ++i) by_version[i] = i;
+  std::sort(by_version.begin(), by_version.end(),
+            [this](std::size_t a, std::size_t b) { return pl_[a].version < pl_[b].version; });
+  for (std::size_t i : by_version) {
+    pending_ws_.insert(pl_[i].version, util::KeySet(), pl_[i].tx.write_keys);
+    if (parallel()) window_->pending_insert(pl_[i].version, pl_[i].tx.write_keys);
+  }
+  for (std::size_t i = 0; i < pl_.size(); ++i) {
+    PendingEntry& e = pl_[i];
+    e.park_until = e.tx.is_global() ? 0 : park_bound(i, e.tx);
+  }
 }
 
 void Certifier::mark_ready(Version v) {
@@ -281,6 +409,7 @@ void Certifier::install(util::Reader& r) {
     pl_.push_back(std::move(e));
   }
   rebuild_window();
+  if (ooo_bypass_) park_rebuild();
 }
 
 void Certifier::rebuild_window() {
@@ -308,6 +437,8 @@ void Certifier::reset() {
   pl_.clear();
   pending_ids_.clear();
   index_.clear();
+  pending_ws_.clear();
+  bypass_watermark_ = 0;
   if (parallel()) window_->clear();
 }
 

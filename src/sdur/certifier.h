@@ -72,6 +72,14 @@ struct PendingEntry {
   /// committed local) before its cores finished. Always true in the serial
   /// model.
   bool ready = true;
+  /// Out-of-order bypass (cfg.ooo_bypass): the completed-global watermark
+  /// this local must wait for before it may commit out of order — the
+  /// largest version among pending entries ahead whose write set it
+  /// conflicts with (inheriting the bound of conflicting pending locals).
+  /// 0 = unparked (versions start at 1). Globals never bypass, so the
+  /// field is meaningless for them. Computed at certification and
+  /// recomputed on checkpoint install; not serialized.
+  Version park_until = 0;
 };
 
 class Certifier {
@@ -89,8 +97,13 @@ class Certifier {
 
   /// `cores > 1` switches certification to the P-DUR per-core windows;
   /// `cores == 1` (default) is the serial model, bit-identical to before.
-  explicit Certifier(std::size_t window_capacity, std::uint32_t cores = 1)
-      : window_capacity_(window_capacity == 0 ? 1 : window_capacity) {
+  /// `ooo_bypass` arms the out-of-order local-commit gate (park bounds and
+  /// the pending-write index); off (default) leaves every bypass structure
+  /// untouched — bit-identical legacy behavior.
+  explicit Certifier(std::size_t window_capacity, std::uint32_t cores = 1,
+                     bool ooo_bypass = false)
+      : window_capacity_(window_capacity == 0 ? 1 : window_capacity),
+        ooo_bypass_(ooo_bypass) {
     if (cores > 1) window_ = std::make_unique<pdur::ParallelWindow>(cores);
   }
 
@@ -108,6 +121,9 @@ class Certifier {
     /// P-DUR: the home cores of the transaction (populated whenever the
     /// certifier runs in multi-core mode, for every non-stale verdict).
     std::vector<pdur::CoreId> cores;
+    /// Out-of-order bypass: true when a committed local conflicts with a
+    /// pending write set and must park (park_until > watermark).
+    bool parked = false;
   };
 
   /// Certifies transaction `t` delivered with reorder threshold `rt` when
@@ -132,6 +148,23 @@ class Certifier {
   /// P-DUR: marks the pending entry holding version `v` ready (its core
   /// work completed). No-op if the entry already left the list.
   void mark_ready(Version v);
+
+  // --- Out-of-order local commit (cfg.ooo_bypass) -------------------------
+  /// "No pending entry" sentinel for next_bypassable().
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  /// True when the bypass gate is armed.
+  bool ooo_bypass() const { return ooo_bypass_; }
+  /// Version of the newest completed global; a parked local unparks once
+  /// the watermark reaches its park bound. Globals complete at the head in
+  /// ascending version order, so the watermark is monotone.
+  Version bypass_watermark() const { return bypass_watermark_; }
+  /// Index (>= `from`) of the first pending local that is ready and
+  /// unparked — eligible to commit past everything ahead of it — or npos.
+  std::size_t next_bypassable(std::size_t from) const;
+  /// Removes and returns the entry at `pos` (the bypass analogue of
+  /// pop_head: maintains the id set, the pending-write index and the
+  /// watermark).
+  PendingEntry take_at(std::size_t pos);
 
   // --- Resolution ----------------------------------------------------------
   /// Resolves a completed transaction's slot (after the caller popped it
@@ -161,6 +194,14 @@ class Certifier {
   /// (tests/audit_test.cpp). Never set outside tests.
   void test_skip_conflict_check(bool v) { test_skip_conflict_check_ = v; }
 
+  /// TEST-ONLY fault injection: when set (with ooo_bypass on), the park
+  /// gate is skipped — every committed local is unparked, so a
+  /// write-conflicting local bypasses the pending writer ahead of it. The
+  /// store's version-order audit (and MVStore's regression throw) must
+  /// catch the resulting out-of-order apply (tests/convoy_bypass_test.cpp).
+  /// Never set outside tests.
+  void test_skip_park_gate(bool v) { test_skip_park_gate_ = v; }
+
   /// Serializes the full certifier state (window slots + pending list)
   /// into a checkpoint; install() replaces the state from one. Pending
   /// entries lose their server-side liveness fields (votes are re-fetched
@@ -185,8 +226,34 @@ class Certifier {
   /// install()).
   void rebuild_window();
 
+  // --- Out-of-order local commit internals --------------------------------
+  /// Bypass gate trigger: O(sets) probe of the pending-write index — does
+  /// `t` read or write a key some pending entry will still write? A bloom
+  /// probe readset cannot drive key probes; the caller treats it as a hit
+  /// and lets park_bound decide. Over-approximate (it also hits on
+  /// rs(t) vs pending-local writes); park_bound is authoritative.
+  bool pending_writes_conflict(const PartTx& t) const;
+  /// Exact park bound for a local inserted at `position`: the largest
+  /// version among conflicting pending entries ahead (globals contribute
+  /// their version; write-conflicting locals their own park bound). 0 =
+  /// nothing to wait for.
+  Version park_bound(std::size_t position, const PartTx& t) const;
+  /// Computes the park bound for a freshly certified local and stamps the
+  /// inserted entry (gate trigger + exact bound + audits).
+  void park_on_insert(std::size_t position, const PartTx& t, Result& result);
+  /// Maintains the pending-write index and the completed-global watermark
+  /// as `e` leaves the pending list (pop_head and take_at).
+  void unpark_on_removal(const PendingEntry& e);
+  /// Recomputes every restored local's park bound after install() — a pure
+  /// function of the restored pending list, so replicas agree.
+  void park_rebuild();
+
   std::size_t window_capacity_;
   bool test_skip_conflict_check_ = false;
+  bool test_skip_park_gate_ = false;
+  /// Out-of-order local commit armed (cfg.ooo_bypass). When false, no
+  /// bypass structure is ever touched — the legacy paths are bit-identical.
+  bool ooo_bypass_ = false;
   std::deque<Slot> slots_;  // slot for version v at index v - base_
   Version base_ = 1;        // version of slots_.front()
   Version cc_ = 0;          // last assigned version
@@ -197,6 +264,13 @@ class Certifier {
   /// Per-key last-writer / last-reader index over slots_, maintained on
   /// certification and eviction (see storage/cert_index.h).
   storage::CertIndex index_;
+  /// Bypass gate: newest pending writer per key over pl_ (readset slots
+  /// unused — inserted empty). Maintained on certification and on every
+  /// pending-list removal; rebuilt (version-ascending) on install. Only
+  /// touched when ooo_bypass_ is set.
+  storage::CertIndex pending_ws_;
+  /// Version of the newest completed global (see bypass_watermark()).
+  Version bypass_watermark_ = 0;
   /// P-DUR per-core windows; null in the serial model. Mirrors slots_
   /// (projected per core), rebuilt from it on install().
   std::unique_ptr<pdur::ParallelWindow> window_;

@@ -97,6 +97,19 @@ struct ServerConfig {
   /// Only meaningful with vote_batching on.
   bool vote_piggyback = true;
 
+  // --- Out-of-order local commit (see DESIGN.md "Out-of-order local commit") --
+
+  /// Let a delivered local transaction certify and commit immediately,
+  /// bypassing earlier-delivered globals whose votes are still pending,
+  /// whenever its read/write sets do not conflict with any pending entry's
+  /// write set (probed in O(sets) via a CertIndex over the pending list).
+  /// Conflicting locals park until the blocking global's version is
+  /// covered by the completed-global watermark. The resulting schedule is
+  /// equivalent to the delivery-order serial one. Default off =
+  /// bit-identical legacy completion order (golden-digest pinned in
+  /// tests/convoy_bypass_test.cpp and tests/vote_batch_test.cpp).
+  bool ooo_bypass = false;
+
   // --- Checkpointing --------------------------------------------------------
 
   /// Period of application checkpoints: the server serializes its full

@@ -181,6 +181,8 @@ Server::Stats Deployment::total_stats() const {
     total.votes_batched += st.votes_batched;
     total.votes_piggybacked += st.votes_piggybacked;
     total.stale_votes_dropped += st.stale_votes_dropped;
+    total.bypassed_locals += st.bypassed_locals;
+    total.parked_locals += st.parked_locals;
   }
   return total;
 }

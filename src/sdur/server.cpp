@@ -21,7 +21,7 @@ Server::Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerC
                    loc),
       cfg_(std::move(cfg)),
       partitioning_(std::move(partitioning)),
-      cert_(cfg_.window_capacity, cfg_.pdur.cores),
+      cert_(cfg_.window_capacity, cfg_.pdur.cores, cfg_.ooo_bypass),
       gsc_(cfg_.num_partitions, 0) {
   set_message_service_time(cfg_.message_service_time);
   trace_track_ = SDUR_TRACE_REGISTER(self(), name(), -1);
@@ -319,6 +319,21 @@ void Server::process_delivery(PartTx t) {
           inserted.delivered_at = now();
           inserted.last_vote_resend = now();
           SDUR_AUDIT(audit_version = res.version);
+          if (res.parked) {
+            // Bypass gate: this local write-conflicts with a pending entry
+            // and waits for the completed-global watermark to cover its
+            // park bound; the sweep releases it from drain_pending.
+            ++stats_.parked_locals;
+            SDUR_TRACE_INSTANT(trace_track_, trace::Point::kTxParked, t.id, now(),
+                               static_cast<std::uint64_t>(inserted.park_until));
+          }
+          // NOTE: park bounds are deliberately NOT cross-checked between
+          // replicas. The bound is computed over the *pending* list, whose
+          // contents legitimately differ with vote-arrival timing (a global
+          // completed at one replica can still be pending at another), so
+          // bounds may diverge by exactly the completed prefix. That is
+          // timing-only: the bypass-serial-equivalence check below verifies
+          // the property that actually matters at every sweep.
         }
       }
       SDUR_TRACE_CLEAR_CONTEXT();
@@ -501,6 +516,55 @@ void Server::drain_pending() {
     const Outcome outcome = combined_outcome(head);
     const PendingEntry e = cert_.pop_head();
     complete(e, outcome);
+  }
+  if (cfg_.ooo_bypass) bypass_sweep();
+}
+
+void Server::bypass_sweep() {
+  // Out-of-order local commit: the in-order drain above stalled (head
+  // global waiting on votes or its threshold, or P-DUR head core work in
+  // flight) — commit every ready local whose park bound the
+  // completed-global watermark covers. Front-to-back order keeps
+  // write-conflicting locals in ascending version order; everything a
+  // swept local leaps is write-disjoint (and read-disjoint, bar
+  // snapshot-bottom blind writes whose projected readset is empty here),
+  // so the schedule stays equivalent to the delivery-order serial one.
+  // Sweep completions never unblock the head (votes and thresholds are
+  // untouched), so one pass after the drain suffices.
+  std::size_t pos = cert_.next_bypassable(0);
+  while (pos != Certifier::npos) {
+    // Replay the strict delivery-order gate: nothing still ahead of a
+    // swept local may write-conflict with it (the store applies writes in
+    // version order), and any pending write it *read* must sit within its
+    // snapshot — the cross-replica race certification already admits: the
+    // read was served by a replica where that writer had completed. A
+    // bloom readset cannot be checked key-exactly, so its read clause is
+    // skipped (the park gate already treated it as a conservative hit).
+    SDUR_AUDIT({
+      const PendingEntry& local = cert_.at(pos);
+      for (std::size_t k = 0; k < pos; ++k) {
+        const PendingEntry& ahead = cert_.at(k);
+        SDUR_AUDIT_CHECK("certifier", "bypass-serial-equivalence",
+                         !local.tx.write_keys.intersects(ahead.tx.write_keys),
+                         "local tx " << local.tx.id << " (v" << local.version
+                                     << ") bypasses write-conflicting pending tx " << ahead.tx.id
+                                     << " (v" << ahead.version << ")");
+        SDUR_AUDIT_CHECK("certifier", "bypass-serial-equivalence",
+                         local.tx.readset.is_bloom() ||
+                             !local.tx.readset.intersects(ahead.tx.write_keys) ||
+                             ahead.version <= local.tx.snapshot,
+                         "local tx " << local.tx.id << " (v" << local.version
+                                     << ", st=" << local.tx.snapshot
+                                     << ") bypasses pending tx " << ahead.tx.id << " (v"
+                                     << ahead.version << ") whose write it read");
+      }
+    });
+    const PendingEntry e = cert_.take_at(pos);
+    ++stats_.bypassed_locals;
+    SDUR_TRACE_INSTANT(trace_track_, trace::Point::kTxBypassed, e.tx.id, now(),
+                       static_cast<std::uint64_t>(pos));
+    complete(e, Outcome::kCommit);
+    pos = cert_.next_bypassable(pos);
   }
 }
 

@@ -60,6 +60,8 @@ class Server : public sim::Process {
     std::uint64_t votes_batched = 0;       // votes carried by explicit batch flushes
     std::uint64_t votes_piggybacked = 0;   // votes that rode existing traffic for free
     std::uint64_t stale_votes_dropped = 0; // votes for already-completed transactions
+    std::uint64_t bypassed_locals = 0;     // locals committed past pending entries (ooo_bypass)
+    std::uint64_t parked_locals = 0;       // locals parked behind a pending write conflict
   };
 
   Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerConfig cfg,
@@ -112,6 +114,10 @@ class Server : public sim::Process {
   void process_delivery(PartTx t);
   void complete(const PendingEntry& e, Outcome outcome);
   void drain_pending();
+  /// Out-of-order local commit (cfg.ooo_bypass): after the in-order drain
+  /// stalls, commits every ready unparked local past the blocked prefix
+  /// (see DESIGN.md "Out-of-order local commit").
+  void bypass_sweep();
   void schedule_threshold_tick();
 
   // --- P-DUR multi-core replica (src/pdur/) ---------------------------------

@@ -58,6 +58,8 @@ enum class Point : std::uint8_t {
   kCertScanFallback,  // bloom sets forced the window/lane scan (aux: lane/depth)
   kVoteFlush,         // vote batcher flushed a queue (id: dest partition, aux: votes)
   kVotePiggyback,     // pending votes rode an outgoing message (aux: votes)
+  kTxBypassed,        // local committed past pending entries (aux: entries leaped)
+  kTxParked,          // local parked behind a pending conflict (aux: park bound)
   kPointCount,
 };
 

@@ -20,6 +20,8 @@ const char* to_string(Point p) {
     case Point::kCertScanFallback: return "cert.scan_fallback";
     case Point::kVoteFlush: return "vote.flush";
     case Point::kVotePiggyback: return "vote.piggyback";
+    case Point::kTxBypassed: return "tx.bypassed";
+    case Point::kTxParked: return "tx.parked";
     case Point::kPointCount: break;
   }
   return "?";

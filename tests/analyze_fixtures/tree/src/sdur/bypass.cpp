@@ -1,0 +1,34 @@
+// Fixture: out-of-order-commit hot path. Bodies whose name contains
+// `bypass` or starts with `park`/`unpark` are hot (they run once per
+// delivery / per pending-head completion); `resume_parked_report`
+// matches neither pattern, so identical constructs there must stay
+// silent.
+
+namespace sdur {
+
+void Certifier::park_on_insert(std::size_t pos, const PartTx& t) {
+  KeySet probe = t.write_keys;     // positive: container deep-copy
+  auto* slot = new ParkSlot();     // positive: hotpath-alloc
+  if (probe.empty()) {
+    throw std::logic_error("no");  // positive: hotpath-throw
+  }
+  stamp(pos, probe, slot);
+}
+
+std::size_t Certifier::next_bypassable(std::size_t from, KeySet scratch) {  // positive: by-value param
+  auto owned = std::make_unique<ParkSlot>();  // positive: hotpath-alloc
+  const KeySet& ref = scratch;                // negative: reference
+  KeySet framed = widen(scratch);             // negative: move from a call
+  return probe(from, ref, framed, owned.get());
+}
+
+void Server::resume_parked_report(const Entry& e) {
+  // `resume_parked_report` does not start with park/unpark and has no
+  // `bypass`: not hot, identical constructs must stay silent.
+  KeySet copy = e.write_keys;  // negative: not a hot function
+  auto* scratch = new ParkSlot();
+  (void)copy;
+  (void)scratch;
+}
+
+}  // namespace sdur

@@ -20,7 +20,11 @@ indexed_conflict, has_conflict, reads_conflict, writes_conflict), and
 `scan_after`. Under src/sdur/ the vote-exchange path is hot too:
 `handle_vote*` bodies run once per received vote (unicast, batch entry,
 or piggybacked ride) and `flush_votes*` once per batch window per
-destination partition. Under src/trace/ the span-emit path is hot: every
+destination partition; the out-of-order-commit gate (anything containing
+`bypass` or starting with `park`/`unpark`: park_on_insert, park_bound,
+unpark_on_removal, next_bypassable, park_rebuild, bypass_sweep) runs on
+every delivery and every pending-head completion. Under src/trace/ the
+span-emit path is hot: every
 instrumented protocol step calls Tracer::record_*/append per delivered
 transaction, and the tracer's zero-allocation-at-steady-state contract
 (see src/trace/trace.h) dies if those bodies allocate or throw — there
@@ -42,6 +46,12 @@ _CHAIN_OK = {".", "->", "::"}
 
 
 def _is_hot(name: str, rel: str) -> bool:
+    # Trailing underscore = data member by convention: a constructor's
+    # member initializer (`ooo_bypass_(flag) { ... }`) parses as a
+    # function definition whose "body" is the constructor's, and must not
+    # make the constructor hot.
+    if name.endswith("_"):
+        return False
     if name == "scan_after" or name.startswith("certify") or "conflict" in name:
         return True
     # The vote delivery/flush path (src/sdur/): handle_vote* runs once per
@@ -49,6 +59,12 @@ def _is_hot(name: str, rel: str) -> bool:
     # flush_votes* once per batch window per destination partition — see
     # DESIGN.md "Vote exchange & batching".
     if rel.startswith("src/sdur/") and name.startswith(("handle_vote", "flush_votes")):
+        return True
+    # The out-of-order local commit gate (src/sdur/): park_* and
+    # unpark_* run per delivery / per pending removal, and the bypass
+    # probe/sweep per completion — see DESIGN.md "Out-of-order local
+    # commit".
+    if rel.startswith("src/sdur/") and ("bypass" in name or name.startswith(("park", "unpark"))):
         return True
     # The tracer's record/emit/append path runs once per instrumented
     # protocol step; its zero-alloc contract is load-bearing.
@@ -163,20 +179,22 @@ def run_hotpath_hygiene(ctx: Context):
 RULES = [
     Rule("hotpath-alloc",
          "no new/make_unique/make_shared in certify/conflicts_*/scan_after "
-         "bodies, src/sdur/ handle_vote*/flush_votes* vote-exchange bodies, "
-         "or src/trace/ record*/emit*/append* span-emit bodies",
+         "bodies, src/sdur/ handle_vote*/flush_votes* vote-exchange and "
+         "*bypass*/park*/unpark* out-of-order-commit bodies, or src/trace/ "
+         "record*/emit*/append* span-emit bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-alloc"),
          suggestion="preallocate outside the certification path (arena/ring "
                     "patterns, see storage/commit_window.h)"),
     Rule("hotpath-container-copy",
          "no container deep-copies (locals copy-initialized from lvalues, "
-         "by-value container parameters) in hot certification or "
-         "vote-exchange bodies",
+         "by-value container parameters) in hot certification, "
+         "vote-exchange, or out-of-order-commit bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-container-copy"),
          suggestion="take const&, or reuse a scratch buffer owned by the caller"),
     Rule("hotpath-throw",
          "no throwing constructs in audit-off protocol hot paths "
-         "(certification, vote exchange, and trace span-emit)",
+         "(certification, vote exchange, out-of-order commit, and trace "
+         "span-emit)",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-throw"),
          suggestion="return a verdict, or guard the invariant with SDUR_AUDIT_CHECK "
                     "(compiled out in benchmark builds)"),

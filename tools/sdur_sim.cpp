@@ -47,6 +47,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::int64_t checkpoint_ms = 0;
   std::int64_t vote_batch_us = -1;  // -1 = off, 0 = on at default interval, >0 us
+  bool ooo_bypass = false;
   bool breakdown = false;
   std::string csv;
   bool verbose = false;
@@ -72,8 +73,10 @@ void usage() {
       "  --checkpoint MS              checkpoint interval (default off)\n"
       "  --vote-batch [US]            batch cross-partition votes; optional flush\n"
       "                               interval in microseconds (default 200)\n"
+      "  --ooo-bypass                 out-of-order local commit: conflict-free locals\n"
+      "                               bypass pending globals (default off)\n"
       "  --breakdown                  print the per-stage latency attribution table\n"
-      "                               (needs an SDUR_TRACE=1 build)\n"
+      "                               with p50/p95/p99 columns (needs SDUR_TRACE=1)\n"
       "  --seconds S                  measurement window (default 10)\n"
       "  --seed N                     RNG seed (default 1)\n"
       "  --csv FILE                   dump per-class latency CDFs as CSV\n"
@@ -110,7 +113,8 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--vote-batch") {
       o.vote_batch_us = 0;
       if (i + 1 < argc && argv[i + 1][0] != '-') o.vote_batch_us = std::atoll(argv[++i]);
-    } else if (a == "--breakdown") o.breakdown = true;
+    } else if (a == "--ooo-bypass") o.ooo_bypass = true;
+    else if (a == "--breakdown") o.breakdown = true;
     else if (a == "--seconds") o.seconds = std::atof(need(i));
     else if (a == "--seed") o.seed = std::strtoull(need(i), nullptr, 10);
     else if (a == "--csv") o.csv = need(i);
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
     spec.server.checkpoint_interval = o.checkpoint_ms > 0 ? sim::msec(o.checkpoint_ms) : 0;
     spec.server.vote_batching = o.vote_batch_us >= 0;
     if (o.vote_batch_us > 0) spec.server.vote_batch_interval = sim::usec(o.vote_batch_us);
+    spec.server.ooo_bypass = o.ooo_bypass;
     spec.seed = o.seed;
     if (o.workload == "micro") {
       spec.partitioning = MicroWorkload::make_partitioning(o.partitions, o.items);
@@ -256,6 +261,12 @@ int main(int argc, char** argv) {
                   : static_cast<double>(r.net.bytes_sent) /
                         static_cast<double>(r.servers.committed_local + r.servers.committed_global));
 
+  if (r.servers.bypassed_locals + r.servers.parked_locals > 0) {
+    std::printf("ooo-bypass: bypassed=%llu parked=%llu\n",
+                static_cast<unsigned long long>(r.servers.bypassed_locals),
+                static_cast<unsigned long long>(r.servers.parked_locals));
+  }
+
   if (r.servers.votes_batched + r.servers.votes_piggybacked > 0) {
     std::printf("votes: batches=%llu batched=%llu piggybacked=%llu stale-dropped=%llu\n",
                 static_cast<unsigned long long>(r.servers.vote_batches_sent),
@@ -276,14 +287,19 @@ int main(int argc, char** argv) {
     } classes[] = {{"local", &b.local}, {"global", &b.global}};
     for (const auto& [name, c] : classes) {
       if (c->chains == 0) continue;
-      std::printf("  %-8s (%llu chains): e2e mean %.1f ms, p99 %.1f ms\n", name,
-                  static_cast<unsigned long long>(c->chains), c->e2e.mean() / 1000.0,
+      std::printf("  %-8s (%llu chains): e2e mean %.1f ms, p50 %.1f, p95 %.1f, p99 %.1f ms\n",
+                  name, static_cast<unsigned long long>(c->chains), c->e2e.mean() / 1000.0,
+                  static_cast<double>(c->e2e.percentile(50)) / 1000.0,
+                  static_cast<double>(c->e2e.percentile(95)) / 1000.0,
                   static_cast<double>(c->e2e.percentile(99)) / 1000.0);
+      std::printf("    %-12s %13s %9s %9s %9s\n", "stage", "mean", "p50", "p95", "p99");
       for (std::size_t s = 0; s < trace::Breakdown::kStages; ++s) {
         const util::Histogram& h = c->stage[s];
         const double share = c->e2e.mean() > 0 ? 100.0 * h.mean() / c->e2e.mean() : 0;
-        std::printf("    %-12s mean %8.2f ms (%5.1f%%)  p99 %8.2f ms\n",
+        std::printf("    %-12s %6.2f (%4.1f%%) %7.2f %9.2f %9.2f ms\n",
                     trace::Breakdown::stage_name(s), h.mean() / 1000.0, share,
+                    static_cast<double>(h.percentile(50)) / 1000.0,
+                    static_cast<double>(h.percentile(95)) / 1000.0,
                     static_cast<double>(h.percentile(99)) / 1000.0);
       }
     }

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Timeline diff between two Chrome-trace exports (baseline vs technique).
+
+Both inputs are `latency_breakdown --trace-json=...` (or
+`sdur_sim --breakdown` + trace::write_chrome_trace) exports: Chrome
+trace-event JSON whose "i" instants carry the per-transaction lifecycle
+marks (tx.submit, tx.handle, tx.deliver, tx.certified, tx.ready,
+tx.completed, tx.outcome — args.id is the transaction, tx.certified's
+args.aux encodes committed/global/cost) and whose "X" spans carry the
+protocol-internal intervals (paxos.consensus, vote.wait, lane.work, ...).
+
+The diff reports, technique minus baseline:
+  - the per-stage latency attribution per transaction class (the same
+    telescoping stages as trace::build_breakdown), so a technique's effect
+    shows up as "locals' commit_wait mean -43.0 ms" rather than a bare
+    end-to-end delta;
+  - per-name span aggregates (count, total, mean) with the top regressed
+    span names — where the technique *added* time — called out;
+  - instant counts (tx.bypassed, tx.parked, vote.flush, ...), which is
+    where technique-specific events surface.
+
+Usage:
+  trace_diff.py BASELINE.json TECHNIQUE.json [--top N]
+  trace_diff.py --selftest
+
+With --selftest the script diffs the two small exports checked in under
+tools/trace_diff_fixtures/ and verifies the computed numbers exactly
+(wired up as the trace_diff_selftest ctest entry).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+STAGES = ("submit_net", "ordering", "cert_queue", "execution", "lane_exec",
+          "commit_wait", "reply_net")
+
+# Lifecycle marks (exported as "i" instants) that define a chain.
+CHAIN_POINTS = ("tx.submit", "tx.handle", "tx.deliver", "tx.certified",
+                "tx.ready", "tx.completed", "tx.outcome")
+
+
+def aux_committed(aux):
+    return (aux & 1) != 0
+
+
+def aux_global(aux):
+    return (aux & 2) != 0
+
+
+def aux_cost(aux):
+    return aux >> 2
+
+
+class Chain:
+    __slots__ = ("submit", "handle", "outcome", "deliver", "certified",
+                 "ready", "completed", "aux", "tid")
+
+    def __init__(self):
+        self.submit = self.handle = self.outcome = None
+        self.deliver = self.certified = self.ready = self.completed = None
+        self.aux = 0
+        self.tid = None
+
+
+def build_breakdown(events):
+    """Mirrors trace::build_breakdown over the exported instants: stage
+    sums/counts per class, over complete committed chains only."""
+    chains = {}
+    # Pass 1: client-side marks; tx.completed pins the contact track.
+    for e in events:
+        if e.get("ph") != "i" or e.get("name") not in CHAIN_POINTS:
+            continue
+        c = chains.setdefault(e["args"]["id"], Chain())
+        name, ts = e["name"], e["ts"]
+        if name == "tx.submit" and c.submit is None:
+            c.submit = ts
+        elif name == "tx.handle" and c.handle is None:
+            c.handle = ts
+        elif name == "tx.outcome" and c.outcome is None:
+            c.outcome = ts
+        elif name == "tx.completed" and c.completed is None:
+            c.completed = ts
+            c.tid = e["tid"]
+    # Pass 2: the contact replica's delivery-side marks (first each).
+    for e in events:
+        if e.get("ph") != "i" or e.get("name") not in ("tx.deliver", "tx.certified", "tx.ready"):
+            continue
+        c = chains.get(e["args"]["id"])
+        if c is None or c.tid != e["tid"]:
+            continue
+        name, ts = e["name"], e["ts"]
+        if name == "tx.deliver" and c.deliver is None:
+            c.deliver = ts
+        elif name == "tx.certified" and c.certified is None:
+            c.certified = ts
+            c.aux = e["args"]["aux"]
+        elif name == "tx.ready" and c.ready is None:
+            c.ready = ts
+
+    out = {cls: {"chains": 0, "e2e": 0.0,
+                 "stage": {s: 0.0 for s in STAGES}} for cls in ("local", "global")}
+    for c in chains.values():
+        if None in (c.submit, c.handle, c.deliver, c.certified, c.completed, c.outcome):
+            continue
+        if not aux_committed(c.aux):
+            continue
+        cost = aux_cost(c.aux)
+        work_start = c.certified - cost
+        ready = c.ready if c.ready is not None else c.certified
+        stages = {
+            "submit_net": c.handle - c.submit,
+            "ordering": c.deliver - c.handle,
+            "cert_queue": work_start - c.deliver,
+            "execution": cost,
+            "lane_exec": ready - c.certified,
+            "commit_wait": c.completed - ready,
+            "reply_net": c.outcome - c.completed,
+        }
+        if any(v < 0 for v in stages.values()):
+            continue  # crashed-replica clock hole; cannot be attributed
+        cls = out["global" if aux_global(c.aux) else "local"]
+        cls["chains"] += 1
+        cls["e2e"] += c.outcome - c.submit
+        for s, v in stages.items():
+            cls["stage"][s] += v
+    return out
+
+
+def span_aggregates(events):
+    """Per span-name: [count, total duration us]."""
+    agg = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        a = agg.setdefault(e["name"], [0, 0])
+        a[0] += 1
+        a[1] += e["dur"]
+    return agg
+
+
+def instant_counts(events):
+    counts = {}
+    for e in events:
+        if e.get("ph") != "i":
+            continue
+        counts[e["name"]] = counts.get(e["name"], 0) + 1
+    return counts
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: not a Chrome trace export (no traceEvents)")
+    return events
+
+
+def mean(total, count):
+    return total / count if count else 0.0
+
+
+def diff(base_events, tech_events, top=5, out=sys.stdout):
+    """Prints the diff; returns the computed tables for the selftest."""
+    w = out.write
+    result = {}
+
+    # --- Per-stage attribution deltas ------------------------------------
+    base_bd, tech_bd = build_breakdown(base_events), build_breakdown(tech_events)
+    result["breakdown"] = (base_bd, tech_bd)
+    w("Per-stage latency attribution (technique - baseline, stage means):\n")
+    for cls in ("local", "global"):
+        b, t = base_bd[cls], tech_bd[cls]
+        if b["chains"] == 0 and t["chains"] == 0:
+            continue
+        be2e, te2e = mean(b["e2e"], b["chains"]), mean(t["e2e"], t["chains"])
+        w(f"  {cls}: {b['chains']} -> {t['chains']} chains, "
+          f"e2e mean {be2e / 1000:.2f} -> {te2e / 1000:.2f} ms "
+          f"({(te2e - be2e) / 1000:+.2f} ms)\n")
+        for s in STAGES:
+            bm = mean(b["stage"][s], b["chains"])
+            tm = mean(t["stage"][s], t["chains"])
+            if bm == 0 and tm == 0:
+                continue
+            pct = f" ({100 * (tm - bm) / bm:+.0f}%)" if bm > 0 else ""
+            w(f"    {s:<12} {bm / 1000:8.2f} -> {tm / 1000:8.2f} ms  "
+              f"{(tm - bm) / 1000:+8.2f} ms{pct}\n")
+
+    # --- Span aggregates --------------------------------------------------
+    base_sp, tech_sp = span_aggregates(base_events), span_aggregates(tech_events)
+    names = sorted(set(base_sp) | set(tech_sp))
+    rows = []
+    for n in names:
+        bc, bt = base_sp.get(n, [0, 0])
+        tc, tt = tech_sp.get(n, [0, 0])
+        rows.append((n, bc, tc, mean(bt, bc), mean(tt, tc), tt - bt))
+    result["spans"] = rows
+    if rows:
+        w("\nSpans (count, mean us, delta of total time):\n")
+        for n, bc, tc, bm, tm, dt in rows:
+            w(f"  {n:<20} {bc:6} -> {tc:6}   mean {bm:9.1f} -> {tm:9.1f} us"
+              f"   total {dt:+.0f} us\n")
+        regressed = sorted((r for r in rows if r[5] > 0), key=lambda r: -r[5])[:top]
+        result["top_regressed"] = [r[0] for r in regressed]
+        if regressed:
+            w(f"\nTop regressed span names (technique added the most total time):\n")
+            for n, _, tc, bm, tm, dt in regressed:
+                w(f"  {n:<20} +{dt} us total  (mean {bm:.1f} -> {tm:.1f} us over {tc} spans)\n")
+            slowest = sorted((e for e in tech_events
+                              if e.get("ph") == "X" and e["name"] == regressed[0][0]),
+                             key=lambda e: -e["dur"])[:top]
+            w(f"\nSlowest '{regressed[0][0]}' spans in the technique export:\n")
+            for e in slowest:
+                w(f"  ts={e['ts']} dur={e['dur']} us tid={e['tid']} "
+                  f"id={e.get('args', {}).get('id', 0)}\n")
+        else:
+            w("\nNo regressed span names.\n")
+    else:
+        result["top_regressed"] = []
+
+    # --- Instant counts ---------------------------------------------------
+    base_in, tech_in = instant_counts(base_events), instant_counts(tech_events)
+    result["instants"] = (base_in, tech_in)
+    changed = sorted(n for n in set(base_in) | set(tech_in)
+                     if base_in.get(n, 0) != tech_in.get(n, 0))
+    if changed:
+        w("\nInstant counts that changed:\n")
+        for n in changed:
+            w(f"  {n:<20} {base_in.get(n, 0):6} -> {tech_in.get(n, 0):6}\n")
+    return result
+
+
+def selftest():
+    fixtures = pathlib.Path(__file__).resolve().parent / "trace_diff_fixtures"
+    base = load_events(fixtures / "baseline.json")
+    tech = load_events(fixtures / "technique.json")
+    import io
+    buf = io.StringIO()
+    r = diff(base, tech, top=3, out=buf)
+
+    def check(cond, label):
+        if not cond:
+            sys.stderr.write(buf.getvalue())
+            raise SystemExit(f"trace_diff selftest: FAILED: {label}")
+
+    base_local = r["breakdown"][0]["local"]
+    tech_local = r["breakdown"][1]["local"]
+    check(base_local["chains"] == 2 and tech_local["chains"] == 2, "local chain count")
+    check(mean(base_local["stage"]["commit_wait"], 2) == 4000.0,
+          "baseline local commit_wait mean")
+    check(mean(tech_local["stage"]["commit_wait"], 2) == 50.0,
+          "technique local commit_wait mean")
+    base_global = r["breakdown"][0]["global"]
+    tech_global = r["breakdown"][1]["global"]
+    check(base_global["chains"] == 1 and tech_global["chains"] == 1, "global chain count")
+    check(mean(base_global["stage"]["commit_wait"], 1)
+          == mean(tech_global["stage"]["commit_wait"], 1) == 8000.0,
+          "global commit_wait unchanged")
+    check(r["top_regressed"][:1] == ["paxos.consensus"], "top regressed span")
+    spans = {row[0]: row for row in r["spans"]}
+    check(spans["paxos.consensus"][5] == 500, "paxos.consensus total delta")
+    base_in, tech_in = r["instants"]
+    check(base_in.get("tx.bypassed", 0) == 0 and tech_in.get("tx.bypassed") == 2,
+          "tx.bypassed instant delta")
+    print("trace_diff selftest: OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="baseline trace JSON")
+    ap.add_argument("technique", nargs="?", help="technique trace JSON")
+    ap.add_argument("--top", type=int, default=5, help="regressed spans to list")
+    ap.add_argument("--selftest", action="store_true",
+                    help="diff the checked-in fixtures and verify the numbers")
+    args = ap.parse_args()
+    if args.selftest:
+        selftest()
+        return
+    if not args.baseline or not args.technique:
+        ap.error("need BASELINE.json and TECHNIQUE.json (or --selftest)")
+    diff(load_events(args.baseline), load_events(args.technique), top=args.top)
+
+
+if __name__ == "__main__":
+    main()
