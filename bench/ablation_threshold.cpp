@@ -23,7 +23,7 @@ int main() {
 
   for (std::uint32_t threshold : {0u, 20u, 40u, 80u, 160u, 320u, 640u}) {
     MicroSetup setup = base;
-    setup.reorder_threshold = threshold;
+    setup.techniques.reorder_threshold = threshold;
     const RunResult r = run_micro(setup, clients);
     std::printf(
         "  R=%4u: local p99=%8.1f ms avg=%7.1f ms | global p99=%8.1f ms avg=%7.1f ms | "

@@ -78,7 +78,7 @@ ArmResult run_arm(const MicroSetup& setup, std::uint32_t clients, std::size_t ri
   out.messages_sent = r.net.messages_sent;
   out.votes_batched = r.servers.votes_batched;
   out.votes_piggybacked = r.servers.votes_piggybacked;
-  out.repair_unicasts = setup.vote_batching ? r.net.per_type_count.at(msgtype::kVote) : 0;
+  out.repair_unicasts = setup.techniques.vote_batching ? r.net.per_type_count.at(msgtype::kVote) : 0;
 #if SDUR_TRACE
   tracer.set_enabled(false);
   const trace::Breakdown b = trace::build_breakdown(tracer);
@@ -132,9 +132,9 @@ int main(int argc, char** argv) {
         setup.partitions = parts;
         setup.global_fraction = gf;
         setup.items_per_partition = 20'000;
-        setup.reorder_threshold = 32;
-        setup.vote_batching = arm.batching;
-        setup.vote_batch_interval = arm.interval;
+        setup.techniques.reorder_threshold = 32;
+        setup.techniques.vote_batching = arm.batching;
+        if (arm.interval > 0) setup.techniques.vote_batch_interval = arm.interval;
         const ArmResult r = run_arm(setup, clients, ring);
 
         const double ratio =

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "sdur/technique_config.h"
 #include "workload/driver.h"
 #include "workload/microbench.h"
 #include "workload/social.h"
@@ -180,16 +181,19 @@ inline sim::Time scaled(sim::Time t) {
   return static_cast<sim::Time>(static_cast<double>(t) * bench_scale());
 }
 
-/// Knobs a figure sweeps over.
+/// Knobs a figure sweeps over. Technique knobs live in `techniques`
+/// (the single source of technique configuration, see
+/// sdur/technique_config.h) — benches toggle `setup.techniques.<knob>`
+/// or assign a whole `TechniqueConfig::preset(...)`.
 struct MicroSetup {
   DeploymentSpec::Kind kind = DeploymentSpec::Kind::kWan1;
   PartitionId partitions = 2;
   double global_fraction = 0.1;
   std::uint64_t items_per_partition = 100'000;
-  std::uint32_t reorder_threshold = 0;
-  bool delaying = false;
-  sim::Time fixed_delay = 0;
-  bool bloom = false;
+  /// Key skew (Zipf theta; 0 = uniform) — contended cells shrink
+  /// items_per_partition and raise this.
+  double zipf = 0.0;
+  TechniqueConfig techniques;
   std::uint64_t seed = 1;
   /// P-DUR multi-core replica model (src/pdur/): > 1 gives every server
   /// this many simulated cores and makes the workload core-aware.
@@ -197,15 +201,6 @@ struct MicroSetup {
   /// Fraction of transactions whose keys deliberately span >= 2 cores
   /// (only meaningful with pdur_cores > 1).
   double cross_core_fraction = 0.0;
-  /// Vote-exchange batching (see DESIGN.md "Vote exchange & batching");
-  /// default off = legacy per-transaction vote unicast.
-  bool vote_batching = false;
-  /// Batch flush interval; 0 keeps the ServerConfig default.
-  sim::Time vote_batch_interval = 0;
-  bool vote_piggyback = true;
-  /// Out-of-order local commit (see DESIGN.md "Out-of-order local
-  /// commit"); default off = locals drain strictly in delivery order.
-  bool ooo_bypass = false;
 };
 
 inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
@@ -213,15 +208,8 @@ inline std::unique_ptr<Deployment> make_micro_deployment(const MicroSetup& s) {
   spec.kind = s.kind;
   spec.partitions = s.partitions;
   spec.partitioning = MicroWorkload::make_partitioning(s.partitions, s.items_per_partition);
-  spec.server.reorder_threshold = s.reorder_threshold;
-  spec.server.delaying_enabled = s.delaying;
-  spec.server.fixed_delay = s.fixed_delay;
-  spec.server.bloom_readsets = s.bloom;
+  spec.server.techniques = s.techniques;
   spec.server.pdur.cores = s.pdur_cores;
-  spec.server.vote_batching = s.vote_batching;
-  if (s.vote_batch_interval > 0) spec.server.vote_batch_interval = s.vote_batch_interval;
-  spec.server.vote_piggyback = s.vote_piggyback;
-  spec.server.ooo_bypass = s.ooo_bypass;
   spec.seed = s.seed;
   return std::make_unique<Deployment>(spec);
 }
@@ -249,6 +237,7 @@ inline std::uint32_t find_clients(const MicroSetup& s, std::uint32_t start = 16,
   MicroConfig mc;
   mc.items_per_partition = s.items_per_partition;
   mc.global_fraction = s.global_fraction;
+  mc.zipf_theta = s.zipf;
   mc.cores = s.pdur_cores;
   mc.cross_core_fraction = s.cross_core_fraction;
   return workload::find_operating_point(
@@ -261,6 +250,7 @@ inline RunResult run_micro(const MicroSetup& s, std::uint32_t clients) {
   MicroConfig mc;
   mc.items_per_partition = s.items_per_partition;
   mc.global_fraction = s.global_fraction;
+  mc.zipf_theta = s.zipf;
   mc.cores = s.pdur_cores;
   mc.cross_core_fraction = s.cross_core_fraction;
   MicroWorkload wl(mc);

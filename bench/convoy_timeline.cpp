@@ -14,7 +14,7 @@ void run_case(const char* label, std::uint32_t threshold) {
   MicroSetup setup;
   setup.kind = DeploymentSpec::Kind::kWan1;
   setup.global_fraction = 0.01;
-  setup.reorder_threshold = threshold;
+  setup.techniques.reorder_threshold = threshold;
 
   MicroConfig mc;
   mc.items_per_partition = setup.items_per_partition;

@@ -31,8 +31,8 @@ int main() {
     std::printf("\n%2.0f%% globals (~%.0f tps held constant):\n", mix * 100, target);
     for (sim::Time d : delays) {
       MicroSetup setup = base;
-      setup.delaying = d > 0;
-      setup.fixed_delay = d;
+      setup.techniques.delaying_enabled = d > 0;
+      setup.techniques.fixed_delay = d;
       const RunResult r = d == 0 ? baseline : run_micro_matched(setup, clients, target);
       char label[64];
       if (d == 0) {

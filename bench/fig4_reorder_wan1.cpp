@@ -30,7 +30,7 @@ int main() {
     std::printf("\n%2.0f%% globals (~%.0f tps held constant):\n", mix * 100, target);
     for (std::uint32_t threshold : thresholds) {
       MicroSetup setup = base;
-      setup.reorder_threshold = threshold;
+      setup.techniques.reorder_threshold = threshold;
       const RunResult r = threshold == 0 ? baseline : run_micro_matched(setup, clients, target);
       char label[64];
       std::snprintf(label, sizeof(label), "%s / locals",

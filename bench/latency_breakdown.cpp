@@ -176,6 +176,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(b.incomplete_chains));
   }
 
+  // Multi-partition P-DUR (arXiv:1312.0742 Section V): every replica runs
+  // 4 cores and globals cross partitions, so a chain can pay lane_exec
+  // AND commit_wait — the decomposition shows how the two compose.
+  const std::vector<PartitionId> pdur_partition_counts =
+      smoke ? std::vector<PartitionId>{2} : std::vector<PartitionId>{2, 4};
+  for (PartitionId parts : pdur_partition_counts) {
+    MicroSetup setup;
+    setup.kind = DeploymentSpec::Kind::kWan1;
+    setup.partitions = parts;
+    setup.global_fraction = 0.2;
+    setup.items_per_partition = 20'000;
+    setup.pdur_cores = 4;
+    setup.cross_core_fraction = 0.2;
+    const std::uint32_t clients = (smoke ? 16 : 48) * parts / 2;
+    const std::string label = "pdur-4c-" + std::to_string(parts) + "p";
+    std::printf("\nP-DUR, 4 cores, %u partitions, %u clients, 20%% global (WAN1):\n", parts,
+                clients);
+    const trace::Breakdown b = run_traced(setup, clients, ring, "");
+    ok = emit_class(rep, label, "local", b.local) && ok;
+    ok = emit_class(rep, label, "global", b.global) && ok;
+    any_chains = any_chains || b.local.chains > 0 || b.global.chains > 0;
+    std::printf("  (aborted %llu, incomplete %llu chains)\n",
+                static_cast<unsigned long long>(b.aborted_chains),
+                static_cast<unsigned long long>(b.incomplete_chains));
+  }
+
   if (!any_chains) {
     std::fprintf(stderr, "latency_breakdown: no complete chains attributed\n");
     return 1;

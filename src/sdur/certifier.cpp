@@ -323,17 +323,20 @@ void Certifier::mark_ready(Version v) {
 }
 
 void Certifier::resolve(const PendingEntry& entry, bool committed) {
-  const Version v = entry.version;
+  resolve(entry.version, entry.tx.id, committed);
+}
+
+void Certifier::resolve(Version v, TxId owner, bool committed) {
   if (v < base_ || v > cc_) return;
   // A slot is resolved exactly once, by the transaction that owns it.
   SDUR_AUDIT_CHECK("certifier", "resolve-once",
                    slots_[static_cast<std::size_t>(v - base_)].status == SlotStatus::kPending,
-                   "version " << v << " (tx " << entry.tx.id << ") resolved twice");
+                   "version " << v << " (tx " << owner << ") resolved twice");
   SDUR_AUDIT_CHECK("certifier", "resolve-owner",
-                   slots_[static_cast<std::size_t>(v - base_)].txid == entry.tx.id,
+                   slots_[static_cast<std::size_t>(v - base_)].txid == owner,
                    "version " << v << " owned by tx "
                               << slots_[static_cast<std::size_t>(v - base_)].txid
-                              << " resolved by tx " << entry.tx.id);
+                              << " resolved by tx " << owner);
   slots_[static_cast<std::size_t>(v - base_)].status =
       committed ? SlotStatus::kCommitted : SlotStatus::kAborted;
   // Advance the stable prefix over contiguously resolved slots.

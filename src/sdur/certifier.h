@@ -171,6 +171,10 @@ class Certifier {
   /// from the pending list and, on commit, applied its writes at
   /// entry.version). Advances the stable prefix.
   void resolve(const PendingEntry& entry, bool committed);
+  /// Same, for an entry the caller detached earlier (speculative global
+  /// commit: the entry left the pending list at speculation time and is
+  /// resolved when its votes arrive). `owner` pins the resolve-owner audit.
+  void resolve(Version v, TxId owner, bool committed);
 
   /// Highest assigned version (certified, possibly unresolved).
   Version certified() const { return cc_; }

@@ -1,36 +1,34 @@
 // SDUR server configuration.
+//
+// Technique knobs (reordering, delaying, bloom readsets, vote batching,
+// out-of-order commit, speculation) live in sdur::TechniqueConfig — the
+// single source of technique configuration (see technique_config.h).
+// ServerConfig embeds a TechniqueConfig and re-exports the historical
+// field names as references, so `cfg.ooo_bypass` and
+// `cfg.techniques.ooo_bypass` are the same storage.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "pdur/config.h"
+#include "sdur/technique_config.h"
 #include "sdur/transaction.h"
 #include "sim/time.h"
 #include "sim/topology.h"
 
 namespace sdur {
 
-struct ServerConfig {
+/// Value members of ServerConfig. Split out so ServerConfig can add the
+/// legacy reference aliases while keeping copy/move assignment trivial to
+/// write (copy the base; the aliases always bind to the object's own
+/// `techniques`).
+struct ServerConfigData {
   PartitionId partition = 0;
   PartitionId num_partitions = 1;
 
-  // --- Geo extensions (Section IV) ---------------------------------------
-
-  /// Reorder threshold R: a pending global transaction waits for R further
-  /// deliveries, during which local transactions may be reordered before
-  /// it. 0 disables reordering (baseline SDUR): local transactions are
-  /// only appended, and globals complete as soon as their votes arrive.
-  std::uint32_t reorder_threshold = 0;
-
-  /// Delay the local broadcast of a global transaction by the estimated
-  /// one-way delay to the farthest involved partition (Section IV-D).
-  bool delaying_enabled = false;
-
-  /// Fixed delay for the delaying technique; 0 means "use the estimated
-  /// inter-partition delay". The paper's Figure 3 sweeps fixed values
-  /// (20/40/60 ms).
-  sim::Time fixed_delay = 0;
+  /// Optional protocol techniques and their sub-knobs.
+  TechniqueConfig techniques;
 
   /// Estimated one-way delay from this partition to every partition
   /// (indexed by partition id; entry for own partition = 0). Used by the
@@ -43,14 +41,6 @@ struct ServerConfig {
   /// (the prototype's "last K bloom filters"). Transactions with snapshots
   /// older than the window abort.
   std::size_t window_capacity = 50'000;
-
-  /// Represent shipped readsets as bloom filters (Section V). Cuts
-  /// bandwidth at the price of rare false-positive aborts.
-  bool bloom_readsets = false;
-  /// Per-probe false-positive rate. Certification probes several keys
-  /// against several committed records, so the end-to-end spurious-abort
-  /// rate is roughly scan-depth x keys x this rate — keep it small.
-  double bloom_fp_rate = 1e-5;
 
   // --- Read-only snapshots -------------------------------------------------
 
@@ -72,43 +62,6 @@ struct ServerConfig {
   /// and the partition is idle, broadcast no-op ticks at this period to
   /// advance the delivery counter (implementation addition; see DESIGN.md).
   sim::Time tick_interval = sim::msec(2);
-
-  // --- Vote batching (see DESIGN.md "Vote exchange & batching") -------------
-
-  /// Coalesce outgoing votes per destination partition into VoteBatchMsg
-  /// flushes (and piggyback them on traffic already headed there) instead
-  /// of one VoteMsg unicast per transaction per remote replica. Default
-  /// off = bit-identical legacy vote exchange (golden-digest pinned in
-  /// tests/vote_batch_test.cpp).
-  bool vote_batching = false;
-
-  /// Max time a queued vote waits before the batcher force-flushes all
-  /// destination queues. Bounds the extra commit_wait a batched vote can
-  /// add; votes produced by one delivery batch coalesce well below it.
-  sim::Time vote_batch_interval = sim::usec(200);
-
-  /// Queue length per destination partition that triggers an immediate
-  /// flush, independent of the interval timer.
-  std::size_t vote_batch_max = 64;
-
-  /// Ride pending votes on messages already going to the destination
-  /// partition's servers (gossip SC, vote-resend liveness traffic,
-  /// cross-partition Paxos forwards) so they cost zero extra messages.
-  /// Only meaningful with vote_batching on.
-  bool vote_piggyback = true;
-
-  // --- Out-of-order local commit (see DESIGN.md "Out-of-order local commit") --
-
-  /// Let a delivered local transaction certify and commit immediately,
-  /// bypassing earlier-delivered globals whose votes are still pending,
-  /// whenever its read/write sets do not conflict with any pending entry's
-  /// write set (probed in O(sets) via a CertIndex over the pending list).
-  /// Conflicting locals park until the blocking global's version is
-  /// covered by the completed-global watermark. The resulting schedule is
-  /// equivalent to the delivery-order serial one. Default off =
-  /// bit-identical legacy completion order (golden-digest pinned in
-  /// tests/convoy_bypass_test.cpp and tests/vote_batch_test.cpp).
-  bool ooo_bypass = false;
 
   // --- Checkpointing --------------------------------------------------------
 
@@ -145,6 +98,36 @@ struct ServerConfig {
   /// For every partition, the replica this server routes reads to (the
   /// nearest replica of that partition). Empty = use partition_servers[p][0].
   std::vector<sim::ProcessId> read_route;
+};
+
+struct ServerConfig : ServerConfigData {
+  // --- Legacy technique aliases --------------------------------------------
+  // Historical names for the TechniqueConfig knobs; same storage as
+  // `techniques.*`. New technique knobs must be added to TechniqueConfig,
+  // not here (analyzer rule `config-single-source`).
+  std::uint32_t& reorder_threshold = techniques.reorder_threshold;
+  bool& delaying_enabled = techniques.delaying_enabled;
+  sim::Time& fixed_delay = techniques.fixed_delay;
+  bool& bloom_readsets = techniques.bloom_readsets;
+  double& bloom_fp_rate = techniques.bloom_fp_rate;
+  bool& vote_batching = techniques.vote_batching;
+  sim::Time& vote_batch_interval = techniques.vote_batch_interval;
+  std::size_t& vote_batch_max = techniques.vote_batch_max;
+  bool& vote_piggyback = techniques.vote_piggyback;
+  bool& ooo_bypass = techniques.ooo_bypass;
+  bool& speculation = techniques.speculation;
+
+  ServerConfig() = default;
+  ServerConfig(const ServerConfig& o) : ServerConfigData(o) {}
+  ServerConfig(ServerConfig&& o) noexcept : ServerConfigData(std::move(o)) {}
+  ServerConfig& operator=(const ServerConfig& o) {
+    ServerConfigData::operator=(o);
+    return *this;
+  }
+  ServerConfig& operator=(ServerConfig&& o) noexcept {
+    ServerConfigData::operator=(std::move(o));
+    return *this;
+  }
 };
 
 }  // namespace sdur

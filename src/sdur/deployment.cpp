@@ -183,6 +183,9 @@ Server::Stats Deployment::total_stats() const {
     total.stale_votes_dropped += st.stale_votes_dropped;
     total.bypassed_locals += st.bypassed_locals;
     total.parked_locals += st.parked_locals;
+    total.speculated_globals += st.speculated_globals;
+    total.spec_commits += st.spec_commits;
+    total.spec_aborts += st.spec_aborts;
   }
   return total;
 }

@@ -496,17 +496,36 @@ void Server::schedule_threshold_tick() {
 }
 
 void Server::drain_pending() {
+  // Legacy (speculation off): one in-order drain plus one bypass sweep —
+  // bit-identical to before the speculation refactor. With speculation on,
+  // a sweep that speculated or resolved something can unblock the in-order
+  // drain (the head changed), so the passes interleave until a fixpoint.
+  bool progress = true;
+  while (progress) {
+    drain_in_order();
+    if (cfg_.ooo_bypass) bypass_sweep();
+    progress = cfg_.speculation && spec_sweep();
+  }
+}
+
+void Server::drain_in_order() {
   while (!cert_.empty()) {
     PendingEntry& head = cert_.head();
     // P-DUR: the head's core work is still in flight — nothing behind it
     // may complete either (completion is in version order).
     if (!head.ready) break;
     if (!head.tx.is_global()) {
+      // Outstanding speculative versions never gate a local: reads only
+      // serve the stable prefix, which stalls below every unresolved
+      // speculative version, so the local's snapshot (and hence its
+      // status-blind verdict) cannot depend on how the specs resolve.
+      // Its writes land above theirs in version order; a later rollback
+      // erases mid-chain underneath them (see DESIGN.md).
       const PendingEntry e = cert_.pop_head();
       complete(e, Outcome::kCommit);
       continue;
     }
-    if (!has_all_votes(head)) break;
+    if (!has_all_votes(head)) break;  // spec_sweep may speculate it instead
     if (dc_ < head.rt) {
       // Vote-complete but threshold-blocked (line 29). If the partition
       // goes idle the delivery counter would never advance; tick it.
@@ -517,7 +536,6 @@ void Server::drain_pending() {
     const PendingEntry e = cert_.pop_head();
     complete(e, outcome);
   }
-  if (cfg_.ooo_bypass) bypass_sweep();
 }
 
 void Server::bypass_sweep() {
@@ -568,6 +586,133 @@ void Server::bypass_sweep() {
   }
 }
 
+// --- Speculative global commit (cfg.techniques.speculation) -------------------
+
+bool Server::speculate_head() {
+  if (cert_.empty()) return false;
+  PendingEntry& head = cert_.head();
+  if (!head.ready || !head.tx.is_global()) return false;
+  if (has_all_votes(head) && dc_ >= head.rt) return false;  // drain_in_order's job
+  PendingEntry e = cert_.pop_head();
+  // Apply the writes as speculative versions immediately — the entry left
+  // the pending list, so everything queued behind it completes without
+  // waiting for this global's votes (no head-of-line blocking). The
+  // reorder-threshold gate is deliberately skipped from here on:
+  // reordering exists to let locals complete ahead of a blocked global,
+  // which is moot once the global vacated the head (see DESIGN.md).
+  for (const auto& op : e.tx.writes) store_.put_speculative(op.key, op.value, e.version);
+  SpecEntry s;
+  s.version = e.version;
+  s.rt = e.rt;
+  s.delivered_at = e.delivered_at;
+  s.last_vote_resend = e.last_vote_resend;
+  s.abort_requested = e.abort_requested;
+  s.tx = std::move(e.tx);
+  spec_ids_[s.tx.id] = s.version;
+  ++stats_.speculated_globals;
+  SDUR_TRACE_MARK(trace_track_, trace::Point::kTxSpeculated, s.tx.id, now(), 1);
+  SDUR_AUDIT_NOTE(now(), name() << " speculated global tx " << s.tx.id << " v" << s.version);
+  spec_.emplace(s.version, std::move(s));
+  return true;
+}
+
+bool Server::spec_sweep() {
+  bool progress = false;
+  // Chained speculation: successive eligible global heads vacate in
+  // version order (MVStore requires per-key ascending puts, which the
+  // head-only rule guarantees).
+  while (speculate_head()) progress = true;
+  // Out-of-order finalize: each speculated global resolves the moment its
+  // own votes complete — not behind earlier specs still waiting (slot
+  // resolution and the stable prefix keep reads safe regardless of the
+  // resolution order). The rescan after every resolution keeps iteration
+  // valid across the erase inside finalize/rollback; spec_ stays small.
+  bool resolved = true;
+  while (resolved) {
+    resolved = false;
+    for (const auto& [v, s] : spec_) {
+      if (!has_all_votes(s.tx)) continue;
+      if (combined_outcome(s.tx) == Outcome::kCommit) {
+        finalize_spec(v);
+      } else {
+        rollback_spec(v);
+      }
+      resolved = true;
+      progress = true;
+      break;
+    }
+  }
+  return progress;
+}
+
+void Server::finalize_spec(Version v) {
+  auto it = spec_.find(v);
+  if (it == spec_.end()) return;
+  SpecEntry s = std::move(it->second);
+  spec_.erase(it);
+  spec_ids_.erase(s.tx.id);
+  SDUR_AUDIT(audit::Oracle::instance().record_completion(
+      s.tx.id, cfg_.partition, audit::Oracle::kCommit, s.tx.involved, self(), now()));
+  SDUR_AUDIT_NOTE(now(), name() << " finalized speculated tx " << s.tx.id << " -> commit v"
+                                << s.version);
+  // The writes are already in the store at s.version: promote them (drop
+  // the undo record) and resolve the slot so the stable prefix can cover
+  // them — only now can a read observe the versions.
+  store_.promote(v);
+  cert_.resolve(v, s.tx.id, true);
+  ++stats_.spec_commits;
+  ++stats_.committed_global;
+  if ((cert_.stable() & 0x3FFFF) == 0) {
+    store_.gc(cert_.stable() - static_cast<Version>(cfg_.window_capacity));
+  }
+  service_deferred_reads();
+  votes_.erase(s.tx.id);
+  remember_outcome(s.tx.id, Outcome::kCommit);
+  if (s.tx.contact == self() && s.tx.client != 0) {
+    if (s.tx.is_global()) {
+      SDUR_TRACE_SPAN(trace_track_, trace::Point::kVoteWait, s.tx.id, s.delivered_at, now(), 0,
+                      -1);
+    }
+    SDUR_TRACE_MARK(trace_track_, trace::Point::kTxCompleted, s.tx.id, now(), 1);
+    send(s.tx.client, OutcomeMsg{s.tx.id, Outcome::kCommit}.to_message());
+  }
+  // Missed-promotion guard: no speculative version may sit at or below the
+  // resolved floor (audited + throws on violation).
+  store_.audit_spec_floor(cert_.stable());
+}
+
+void Server::rollback_spec(Version v) {
+  auto it = spec_.find(v);
+  if (it == spec_.end()) return;
+  SpecEntry s = std::move(it->second);
+  spec_.erase(it);
+  spec_ids_.erase(s.tx.id);
+  SDUR_AUDIT(audit::Oracle::instance().record_completion(
+      s.tx.id, cfg_.partition, audit::Oracle::kAbort, s.tx.involved, self(), now()));
+  SDUR_AUDIT_NOTE(now(), name() << " rolled back speculated tx " << s.tx.id << " v" << s.version);
+  // Undo the speculative versions (mid-chain erase: entries behind the
+  // spec may have committed at higher versions already) and resolve the
+  // slot as aborted.
+  store_.rollback(v);
+  cert_.resolve(v, s.tx.id, false);
+  ++stats_.aborted;
+  ++stats_.spec_aborts;
+  SDUR_TRACE_INSTANT(trace_track_, trace::Point::kTxSpecAbort, s.tx.id, now(),
+                     static_cast<std::uint64_t>(s.version));
+  service_deferred_reads();
+  votes_.erase(s.tx.id);
+  remember_outcome(s.tx.id, Outcome::kAbort);
+  if (s.tx.contact == self() && s.tx.client != 0) {
+    if (s.tx.is_global()) {
+      SDUR_TRACE_SPAN(trace_track_, trace::Point::kVoteWait, s.tx.id, s.delivered_at, now(), 0,
+                      -1);
+    }
+    SDUR_TRACE_MARK(trace_track_, trace::Point::kTxCompleted, s.tx.id, now(), 0);
+    send(s.tx.client, OutcomeMsg{s.tx.id, Outcome::kAbort}.to_message());
+  }
+  store_.audit_spec_floor(cert_.stable());
+}
+
 // --- Votes --------------------------------------------------------------------
 
 void Server::record_own_vote(const PartTx& t, Outcome v) {
@@ -604,31 +749,36 @@ void Server::send_vote_to_peers(const PartTx& t, Outcome v) {
   }
 }
 
-bool Server::has_all_votes(const PendingEntry& p) const {
-  auto it = votes_.find(p.tx.id);
+bool Server::has_all_votes(const PartTx& t) const {
+  auto it = votes_.find(t.id);
   if (it == votes_.end()) return false;
-  for (PartitionId part : p.tx.involved) {
+  for (PartitionId part : t.involved) {
     if (!it->second.contains(part)) return false;
   }
   return true;
 }
 
-Outcome Server::combined_outcome(const PendingEntry& p) const {
-  auto it = votes_.find(p.tx.id);
+bool Server::has_all_votes(const PendingEntry& p) const { return has_all_votes(p.tx); }
+
+Outcome Server::combined_outcome(const PartTx& t) const {
+  auto it = votes_.find(t.id);
   if (it == votes_.end()) return Outcome::kAbort;
-  for (PartitionId part : p.tx.involved) {
+  for (PartitionId part : t.involved) {
     auto vit = it->second.find(part);
     if (vit == it->second.end() || vit->second == Outcome::kAbort) return Outcome::kAbort;
   }
   return Outcome::kCommit;
 }
 
+Outcome Server::combined_outcome(const PendingEntry& p) const { return combined_outcome(p.tx); }
+
 bool Server::apply_vote(TxId id, PartitionId partition, Outcome vote) {
   // Votes for transactions already completed here are stale; only keep
-  // votes for pending or not-yet-delivered transactions. The certifier's
-  // id index answers "still pending?" in one hash probe — this used to be
-  // an O(pending) scan per incoming vote.
-  const bool completed = seen_.contains(id) && !cert_.pending_contains(id);
+  // votes for pending, speculated, or not-yet-delivered transactions. The
+  // certifier's id index answers "still pending?" in one hash probe — this
+  // used to be an O(pending) scan per incoming vote.
+  const bool completed =
+      seen_.contains(id) && !cert_.pending_contains(id) && !spec_ids_.contains(id);
   if (completed) {
     ++stats_.stale_votes_dropped;
     return false;
@@ -881,6 +1031,38 @@ void Server::liveness_tick() {
       }
     }
   }
+  // Speculated globals left the pending list but still await their votes:
+  // the same resend / vote-request / abort-request liveness applies.
+  for (auto& [v, s] : spec_) {
+    (void)v;
+    if (has_all_votes(s.tx)) continue;
+    if (t_now - s.last_vote_resend >= cfg_.vote_resend_interval) {
+      s.last_vote_resend = t_now;
+      auto it = own_votes_.find(s.tx.id);
+      if (it != own_votes_.end()) send_vote_to_peers(s.tx, it->second);
+      auto votes_it = votes_.find(s.tx.id);
+      for (PartitionId part : s.tx.involved) {
+        if (part == cfg_.partition) continue;
+        if (votes_it != votes_.end() && votes_it->second.contains(part)) continue;
+        const sim::Message req = VoteRequestMsg{s.tx.id}.to_message();
+        const std::vector<sim::ProcessId>& peers = cfg_.partition_servers[part];
+        for (std::size_t j = 0; j < peers.size(); ++j) {
+          send(peers[j], maybe_piggyback(part, j, req));
+        }
+      }
+    }
+    if (!s.abort_requested && t_now - s.delivered_at >= cfg_.missing_vote_timeout &&
+        engine_->is_leader()) {
+      s.abort_requested = true;
+      ++stats_.abort_requests_sent;
+      auto votes_it = votes_.find(s.tx.id);
+      for (PartitionId part : s.tx.involved) {
+        if (part == cfg_.partition) continue;
+        if (votes_it != votes_.end() && votes_it->second.contains(part)) continue;
+        abcast(part, PartTx::make_abort_request(s.tx.id, s.tx.involved));
+      }
+    }
+  }
   set_timer(cfg_.vote_resend_interval / 2, [this] { liveness_tick(); });
 }
 
@@ -912,6 +1094,20 @@ paxos::Value Server::encode_state() const {
     w.u64(id);
     auto it = outcomes_.find(id);
     w.u8(static_cast<std::uint8_t>(it == outcomes_.end() ? Outcome::kUnknown : it->second));
+  }
+  // Speculative entries ride in the checkpoint only when the technique is
+  // on: speculation-off blobs stay byte-identical to the legacy format
+  // (golden-digest pinned). The store blob above already carries the
+  // speculative versions inside the chains; this section lets install
+  // re-mark them in the undo log.
+  if (cfg_.speculation) {
+    w.varint(spec_.size());
+    for (const auto& [v, s] : spec_) {
+      w.i64(v);
+      const util::Bytes tx = s.tx.encode();
+      w.bytes(tx);
+      w.u64(s.rt);
+    }
   }
   return std::move(w).take();
 }
@@ -945,6 +1141,33 @@ void Server::install_state(const paxos::Value& blob) {
     outcomes_[id] = v;
     outcomes_order_.push_back(id);
   }
+  spec_.clear();
+  spec_ids_.clear();
+  if (cfg_.speculation) {
+    const std::uint64_t nspec = r.varint();
+    for (std::uint64_t i = 0; i < nspec; ++i) {
+      SpecEntry s;
+      s.version = r.i64();
+      const std::string tx_bytes = r.bytes();
+      s.tx = PartTx::decode(util::Bytes(tx_bytes.begin(), tx_bytes.end()));
+      s.rt = r.u64();
+      s.delivered_at = now();
+      s.last_vote_resend = 0;
+      s.abort_requested = false;
+      spec_ids_[s.tx.id] = s.version;
+      spec_.emplace(s.version, std::move(s));
+    }
+    // Re-mark the speculative versions in the freshly installed store so
+    // a later rollback still finds its undo records.
+    std::vector<Key> spec_keys;
+    for (auto& [v, s] : spec_) {
+      spec_keys.clear();
+      for (const auto& op : s.tx.writes) {
+        if (spec_keys.empty() || spec_keys.back() != op.key) spec_keys.push_back(op.key);
+      }
+      store_.mark_speculative(v, spec_keys);
+    }
+  }
   // Re-seed VOTES with our own votes; peer votes for still-pending globals
   // are re-fetched by the vote-request repair in liveness_tick.
   votes_.clear();
@@ -977,6 +1200,8 @@ void Server::on_recover() {
   store_.truncate_above(0);
   cert_.reset();
   dc_ = 0;
+  spec_.clear();
+  spec_ids_.clear();
   votes_.clear();
   poisoned_.clear();
   seen_.clear();

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -62,6 +63,9 @@ class Server : public sim::Process {
     std::uint64_t stale_votes_dropped = 0; // votes for already-completed transactions
     std::uint64_t bypassed_locals = 0;     // locals committed past pending entries (ooo_bypass)
     std::uint64_t parked_locals = 0;       // locals parked behind a pending write conflict
+    std::uint64_t speculated_globals = 0;  // globals applied speculatively before their votes
+    std::uint64_t spec_commits = 0;        // speculations finalized (versions promoted)
+    std::uint64_t spec_aborts = 0;         // speculations rolled back on a remote abort vote
   };
 
   Server(sim::Network& net, sim::ProcessId pid, sim::Location loc, ServerConfig cfg,
@@ -118,7 +122,39 @@ class Server : public sim::Process {
   /// stalls, commits every ready unparked local past the blocked prefix
   /// (see DESIGN.md "Out-of-order local commit").
   void bypass_sweep();
+  /// In-order head drain (the legacy drain_pending loop body); factored
+  /// out so the speculation sweep can interleave with it.
+  void drain_in_order();
   void schedule_threshold_tick();
+
+  // --- Speculative global commit (cfg.techniques.speculation) ---------------
+  // A locally-certified global at the pending-list head applies its writes
+  // as speculative MVStore versions immediately and leaves the pending
+  // list; remote votes later finalize (promote + reply) or roll it back
+  // (undo the versions mid-chain). No transaction ever depends on
+  // speculative state — reads serve only the stable prefix, which stalls
+  // below every unresolved speculative version — so there is nothing to
+  // cascade. See DESIGN.md "Speculative global commit".
+  /// One speculated global, keyed by its assigned version in spec_.
+  struct SpecEntry {
+    PartTx tx;
+    Version version = 0;
+    std::uint64_t rt = 0;             // delivery count at certification
+    sim::Time delivered_at = 0;
+    sim::Time last_vote_resend = 0;
+    bool abort_requested = false;
+  };
+  /// Speculates the global at the pending-list head; true on progress.
+  bool speculate_head();
+  /// Post-drain sweep: speculate eligible heads; true on any progress.
+  bool spec_sweep();
+  /// Votes complete with combined commit: promote versions, emit the
+  /// reply.
+  void finalize_spec(Version v);
+  /// Votes complete with an abort: undo the versions, reply abort.
+  void rollback_spec(Version v);
+  bool has_all_votes(const PartTx& t) const;
+  Outcome combined_outcome(const PartTx& t) const;
 
   // --- P-DUR multi-core replica (src/pdur/) ---------------------------------
   /// True when this replica models pdur.cores > 1 simulated cores.
@@ -217,6 +253,15 @@ class Server : public sim::Process {
     Version snapshot;
   };
   std::deque<DeferredRead> deferred_reads_;
+
+  /// Outstanding speculative entries by version (ordered: rollback and
+  /// the spec-floor audit walk from the lowest). Deterministic: contents
+  /// are a function of the delivered sequence plus vote outcomes, both
+  /// identical across the partition's replicas.
+  std::map<Version, SpecEntry> spec_;
+  /// TxId -> speculative version, so the vote path can find speculated
+  /// globals that already left the pending list.
+  std::unordered_map<TxId, Version> spec_ids_;
 
   /// Per-destination-partition vote outbox. `cursor[i]` is the queue
   /// prefix already carried to replica i of that partition by a piggyback

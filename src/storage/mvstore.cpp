@@ -41,6 +41,54 @@ void MVStore::put(Key k, std::string value, Version version) {
   ++versions_;
 }
 
+void MVStore::put_speculative(Key k, std::string value, Version version) {
+  put(k, std::move(value), version);
+  std::vector<Key>& ks = spec_log_[version];
+  // A transaction may write the same key twice (same-version overwrite in
+  // put); one undo record per key is enough.
+  if (ks.empty() || ks.back() != k) ks.push_back(k);
+}
+
+std::size_t MVStore::promote(Version version) {
+  return spec_log_.erase(version);
+}
+
+std::size_t MVStore::rollback(Version version) {
+  auto it = spec_log_.find(version);
+  if (it == spec_log_.end()) return 0;
+  std::size_t erased = 0;
+  for (Key k : it->second) {
+    VersionChain* chain = map_.find(k);
+    if (chain == nullptr) continue;
+    // The entry sits at upper_bound(version) - 1 if present; later
+    // committed versions of the key may follow it, so close the gap.
+    std::size_t pos = chain->upper_bound(version);
+    if (pos == 0 || (*chain)[pos - 1].version != version) continue;
+    --pos;
+    for (std::size_t i = pos + 1; i < chain->size(); ++i)
+      (*chain)[i - 1] = std::move((*chain)[i]);
+    chain->pop_back();
+    --versions_;
+    ++erased;
+    if (chain->empty()) map_.erase(k);
+  }
+  spec_log_.erase(it);
+  return erased;
+}
+
+void MVStore::mark_speculative(Version version, const std::vector<Key>& ks) {
+  if (!ks.empty()) spec_log_[version] = ks;
+}
+
+void MVStore::audit_spec_floor(Version floor) const {
+  if (spec_log_.empty() || spec_log_.begin()->first > floor) return;
+  SDUR_AUDIT_CHECK("storage", "spec-floor", false,
+                   "speculative version " << spec_log_.begin()->first
+                                          << " at or below resolved floor " << floor
+                                          << " — a rollback or promote was missed");
+  throw std::logic_error("MVStore: speculative version below resolved floor");
+}
+
 void MVStore::truncate_above(Version horizon) {
   // Collect first: erase() perturbs the probe layout mid-walk.
   std::vector<Key> ks = keys();
@@ -52,6 +100,7 @@ void MVStore::truncate_above(Version horizon) {
     }
     if (chain.empty()) map_.erase(k);
   }
+  spec_log_.erase(spec_log_.upper_bound(horizon), spec_log_.end());
 }
 
 void MVStore::gc(Version horizon) {
@@ -88,6 +137,7 @@ void MVStore::encode(util::Writer& w) const {
 void MVStore::install(util::Reader& r) {
   map_.clear();
   versions_ = 0;
+  spec_log_.clear();  // the installer re-marks from its own spec records
   const std::uint64_t nkeys = r.varint();
   map_.reserve(nkeys);
   for (std::uint64_t i = 0; i < nkeys; ++i) {

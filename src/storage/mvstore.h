@@ -23,6 +23,7 @@
 
 #include "storage/flat_table.h"
 #include "util/bytes.h"
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -142,6 +143,38 @@ class MVStore {
   /// Bulk load at version 0 (initial database population).
   void load(Key k, std::string value) { put(k, std::move(value), 0); }
 
+  // --- Speculative versions (cfg.speculation; DESIGN.md "Speculative
+  // global commit") ---------------------------------------------------------
+  // A speculative put is a normal chain insert plus an undo-log record
+  // keyed by version: promote() discharges the record (the versions become
+  // permanent), rollback() erases the version from every written key's
+  // chain. Erasing mid-chain keeps per-key version order intact, so the
+  // version-order audit in put() stays authoritative. Legacy runs never
+  // call these and pay nothing.
+
+  /// put() plus an undo-log record for `version`.
+  void put_speculative(Key k, std::string value, Version version);
+
+  /// Makes every write at `version` permanent; returns the number of
+  /// undo-log records discharged (0 if `version` was never speculative).
+  std::size_t promote(Version version);
+
+  /// Erases every speculative write at `version` and discharges its
+  /// undo-log record; returns the number of chain entries removed.
+  std::size_t rollback(Version version);
+
+  /// Re-registers undo-log records without writing (checkpoint install:
+  /// the chains already carry the speculative versions).
+  void mark_speculative(Version version, const std::vector<Key>& ks);
+
+  /// Outstanding speculative versions.
+  std::size_t speculative_count() const { return spec_log_.size(); }
+
+  /// Every outstanding speculative version must be above `floor` — the
+  /// resolved (stable) prefix must never retain speculative state. A
+  /// violation means a rollback or promote was missed; audited and fatal.
+  void audit_spec_floor(Version floor) const;
+
   /// Drops every version newer than `horizon` (crash recovery rolls the
   /// store back to the initial load, then deliveries are replayed).
   void truncate_above(Version horizon);
@@ -176,6 +209,9 @@ class MVStore {
  private:
   FlatTable<VersionChain> map_;
   std::size_t versions_ = 0;
+  /// Undo log: speculative version -> keys written at it (ascending
+  /// version order; std::map so encode/iteration are deterministic).
+  std::map<Version, std::vector<Key>> spec_log_;
 };
 
 }  // namespace sdur::storage

@@ -84,9 +84,9 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
 }
 
 const char* Breakdown::stage_name(std::size_t s) {
-  static const char* kNames[kStages] = {"submit_net", "ordering",    "cert_queue",
-                                        "execution",  "lane_exec",   "commit_wait",
-                                        "reply_net"};
+  static const char* kNames[kStages] = {"submit_net",  "ordering",    "cert_queue",
+                                        "execution",   "lane_exec",   "commit_wait",
+                                        "spec_window", "reply_net"};
   return s < kStages ? kNames[s] : "?";
 }
 
@@ -99,7 +99,7 @@ double Breakdown::Class::sum_of_stage_means() const {
 Breakdown build_breakdown(const Tracer& tracer) {
   struct Chain {
     sim::Time submit = -1, handle = -1, outcome = -1;
-    sim::Time deliver = -1, certified = -1, ready = -1, completed = -1;
+    sim::Time deliver = -1, certified = -1, ready = -1, speculated = -1, completed = -1;
     std::uint64_t cert_payload = 0;
     std::uint32_t server_track = kNoTrack;
   };
@@ -147,7 +147,7 @@ Breakdown build_breakdown(const Tracer& tracer) {
   for (const Record& r : recs) {
     if (r.kind != Kind::kMark) continue;
     if (r.point != Point::kTxDeliver && r.point != Point::kTxCertified &&
-        r.point != Point::kTxReady) {
+        r.point != Point::kTxReady && r.point != Point::kTxSpeculated) {
       continue;
     }
     auto it = chains.find(r.id);
@@ -159,6 +159,7 @@ Breakdown build_breakdown(const Tracer& tracer) {
       c.cert_payload = r.aux;
     }
     if (r.point == Point::kTxReady && c.ready < 0) c.ready = r.ts;
+    if (r.point == Point::kTxSpeculated && c.speculated < 0) c.speculated = r.ts;
   }
 
   Breakdown out;
@@ -176,13 +177,17 @@ Breakdown build_breakdown(const Tracer& tracer) {
     const sim::Time cost = aux_cost(c.cert_payload);
     const sim::Time work_start = c.certified - cost;
     const sim::Time ready = c.ready >= 0 ? c.ready : c.certified;
+    // A transaction that never speculated has an empty spec_window; the
+    // stages keep telescoping either way.
+    const sim::Time spec = c.speculated >= 0 ? c.speculated : c.completed;
     const sim::Time stages[Breakdown::kStages] = {
         c.handle - c.submit,      // submit_net
         c.deliver - c.handle,     // ordering
         work_start - c.deliver,   // cert_queue
         cost,                     // execution
         ready - c.certified,      // lane_exec
-        c.completed - ready,      // commit_wait
+        spec - ready,             // commit_wait
+        c.completed - spec,       // spec_window
         c.outcome - c.completed,  // reply_net
     };
     bool sane = true;

@@ -31,7 +31,13 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path);
 ///                                              cost (aux_cost of the mark)
 ///   lane_exec    kTxCertified -> kTxReady      P-DUR home-core work
 ///                                              (0 in the serial model)
-///   commit_wait  ready        -> kTxCompleted  votes + reorder threshold
+///   commit_wait  ready        -> speculated    votes + reorder threshold
+///                                              (speculated = kTxCompleted
+///                                              when never speculated)
+///   spec_window  speculated   -> kTxCompleted  speculative exposure: writes
+///                                              applied, reply withheld
+///                                              until the votes finalize
+///                                              (0 when never speculated)
 ///   reply_net    kTxCompleted -> kTxOutcome    server->client outcome
 ///
 /// Only chains whose every mark survived in the ring contribute (the
@@ -40,7 +46,7 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path);
 /// equals the mean end-to-end (submit -> outcome) latency exactly over
 /// the same chain set — the acceptance bar of bench/latency_breakdown.
 struct Breakdown {
-  static constexpr std::size_t kStages = 7;
+  static constexpr std::size_t kStages = 8;
   static const char* stage_name(std::size_t s);
 
   struct Class {

@@ -22,6 +22,8 @@ const char* to_string(Point p) {
     case Point::kVotePiggyback: return "vote.piggyback";
     case Point::kTxBypassed: return "tx.bypassed";
     case Point::kTxParked: return "tx.parked";
+    case Point::kTxSpeculated: return "tx.speculated";
+    case Point::kTxSpecAbort: return "tx.spec_abort";
     case Point::kPointCount: break;
   }
   return "?";

@@ -1,0 +1,28 @@
+// Fixture: technique-config single source. A plain `bool` data member
+// declared in a struct other than TechniqueConfig inside a
+// src/sdur/*config*.h header is a technique knob in the wrong place;
+// TechniqueConfig's own body, `bool&` reference aliases and
+// bool-returning function declarations must stay silent.
+
+namespace sdur {
+
+struct TechniqueConfig {
+  bool delaying_enabled = false;  // negative: TechniqueConfig is the home
+  bool speculation = false;       // negative
+  bool operator==(const TechniqueConfig&) const = default;  // negative: function
+};
+
+struct ServerConfigData {
+  TechniqueConfig techniques;
+  bool verbose_shadow = false;  // positive: knob outside TechniqueConfig
+  std::uint32_t replicas = 3;
+};
+
+struct ServerConfig : ServerConfigData {
+  bool& delaying_enabled = techniques.delaying_enabled;  // negative: reference alias
+  bool& speculation = techniques.speculation;            // negative: reference alias
+  bool eager_flush;                                      // positive: uninitialized knob
+  bool has_quorum() const;                               // negative: function declaration
+};
+
+}  // namespace sdur

@@ -7,9 +7,10 @@ Usage: python3 tools/analyze [--root DIR] [--allowlist FILE] [--json OUT]
 A token-accurate C++ lint engine (cpplex/cppmodel) with a pluggable rule
 set (engine + rules_*): the seven determinism rules migrated from the
 legacy regex linter, the src/ layering DAG with include-cycle detection,
-encode/decode wire-format symmetry, and hot-path hygiene for the
-certification fast path. See DESIGN.md "Static analysis" for the rule
-catalog and the allowlist contract.
+encode/decode wire-format symmetry, hot-path hygiene for the
+certification fast path, and the technique-config single-source rule.
+See DESIGN.md "Static analysis" for the rule catalog and the allowlist
+contract.
 
 Exit status: 0 clean, 1 findings or stale allowlist entries, 2 usage
 error. Wired into CTest as `analyze_lint` (the tree scan) and
@@ -25,13 +26,15 @@ import sys
 from pathlib import Path
 
 import engine
+import rules_config
 import rules_determinism
 import rules_hotpath
 import rules_layering
 import rules_symmetry
 
 ALL_RULES = (rules_determinism.RULES + rules_layering.RULES +
-             rules_symmetry.RULES + rules_hotpath.RULES)
+             rules_symmetry.RULES + rules_hotpath.RULES +
+             rules_config.RULES)
 
 # The rule set the legacy linter shipped; the selftest pins these against
 # the legacy linter's recorded findings on the legacy_pin fixture tree.

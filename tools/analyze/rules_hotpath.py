@@ -23,7 +23,11 @@ or piggybacked ride) and `flush_votes*` once per batch window per
 destination partition; the out-of-order-commit gate (anything containing
 `bypass` or starting with `park`/`unpark`: park_on_insert, park_bound,
 unpark_on_removal, next_bypassable, park_rebuild, bypass_sweep) runs on
-every delivery and every pending-head completion. Under src/trace/ the
+every delivery and every pending-head completion; the speculative
+global commit path (anything starting with `speculate`/`finalize`/
+`rollback`, under src/sdur/ and src/storage/: speculate_head,
+finalize_spec, rollback_spec, MVStore::rollback) runs per speculated
+global and per vote resolution. Under src/trace/ the
 span-emit path is hot: every
 instrumented protocol step calls Tracer::record_*/append per delivered
 transaction, and the tracer's zero-allocation-at-steady-state contract
@@ -65,6 +69,14 @@ def _is_hot(name: str, rel: str) -> bool:
     # probe/sweep per completion — see DESIGN.md "Out-of-order local
     # commit".
     if rel.startswith("src/sdur/") and ("bypass" in name or name.startswith(("park", "unpark"))):
+        return True
+    # The speculative-global-commit path (src/sdur/ + src/storage/):
+    # speculate* runs once per eligible pending-list head, finalize*/
+    # rollback* once per vote resolution (MVStore::rollback walks every
+    # written key's chain) — see DESIGN.md "Speculative global commit".
+    # audit_spec_floor is deliberately NOT hot: it throws by contract.
+    if (rel.startswith(("src/sdur/", "src/storage/"))
+            and name.startswith(("speculate", "finalize", "rollback"))):
         return True
     # The tracer's record/emit/append path runs once per instrumented
     # protocol step; its zero-alloc contract is load-bearing.
@@ -179,22 +191,23 @@ def run_hotpath_hygiene(ctx: Context):
 RULES = [
     Rule("hotpath-alloc",
          "no new/make_unique/make_shared in certify/conflicts_*/scan_after "
-         "bodies, src/sdur/ handle_vote*/flush_votes* vote-exchange and "
-         "*bypass*/park*/unpark* out-of-order-commit bodies, or src/trace/ "
-         "record*/emit*/append* span-emit bodies",
+         "bodies, src/sdur/ handle_vote*/flush_votes* vote-exchange, "
+         "*bypass*/park*/unpark* out-of-order-commit and speculate*/"
+         "finalize*/rollback* speculation bodies (also src/storage/), or "
+         "src/trace/ record*/emit*/append* span-emit bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-alloc"),
          suggestion="preallocate outside the certification path (arena/ring "
                     "patterns, see storage/commit_window.h)"),
     Rule("hotpath-container-copy",
          "no container deep-copies (locals copy-initialized from lvalues, "
          "by-value container parameters) in hot certification, "
-         "vote-exchange, or out-of-order-commit bodies",
+         "vote-exchange, out-of-order-commit, or speculation bodies",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-container-copy"),
          suggestion="take const&, or reuse a scratch buffer owned by the caller"),
     Rule("hotpath-throw",
          "no throwing constructs in audit-off protocol hot paths "
-         "(certification, vote exchange, out-of-order commit, and trace "
-         "span-emit)",
+         "(certification, vote exchange, out-of-order commit, speculation, "
+         "and trace span-emit)",
          lambda ctx: (f for f in run_hotpath_hygiene(ctx) if f.rule == "hotpath-throw"),
          suggestion="return a verdict, or guard the invariant with SDUR_AUDIT_CHECK "
                     "(compiled out in benchmark builds)"),

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <string>
 
+#include "sdur/technique_config.h"
 #include "trace/export.h"
 #include "trace/trace.h"
 #include "util/logging.h"
@@ -38,16 +39,15 @@ struct Options {
   std::uint32_t clients = 64;
   bool auto_load = false;
   double load_fraction = 0.75;
-  std::uint32_t reorder = 0;
-  std::int64_t delay_ms = -1;  // -1 = off, 0 = estimated, >0 fixed
-  bool bloom = false;
+  /// All technique knobs live here (single source, see
+  /// sdur/technique_config.h); the individual flags below are sugar that
+  /// mutates this struct, and --techniques replaces it wholesale.
+  TechniqueConfig techniques;
   bool certified_ro = false;
   double zipf = 0.0;
   double seconds = 10.0;
   std::uint64_t seed = 1;
   std::int64_t checkpoint_ms = 0;
-  std::int64_t vote_batch_us = -1;  // -1 = off, 0 = on at default interval, >0 us
-  bool ooo_bypass = false;
   bool breakdown = false;
   std::string csv;
   bool verbose = false;
@@ -66,6 +66,9 @@ void usage() {
       "  --zipf THETA                 key skew, micro (default 0 = uniform)\n"
       "  --clients N                  closed-loop clients (default 64)\n"
       "  --auto-load [FRACTION]       search the ~FRACTION-of-max operating point (0.75)\n"
+      "  --techniques STR             technique config string, e.g. 'geo' or\n"
+      "                               'reorder=24,bloom,speculation' (replaces any\n"
+      "                               earlier technique flags; see below)\n"
       "  --reorder R                  reorder threshold (default 0 = baseline)\n"
       "  --delay MS                   delaying technique: 0=estimated, >0 fixed ms\n"
       "  --bloom                      bloom-filter readsets\n"
@@ -75,6 +78,8 @@ void usage() {
       "                               interval in microseconds (default 200)\n"
       "  --ooo-bypass                 out-of-order local commit: conflict-free locals\n"
       "                               bypass pending globals (default off)\n"
+      "  --speculate                  speculative global commit: apply locally-\n"
+      "                               certified globals before their votes\n"
       "  --breakdown                  print the per-stage latency attribution table\n"
       "                               with p50/p95/p99 columns (needs SDUR_TRACE=1)\n"
       "  --seconds S                  measurement window (default 10)\n"
@@ -105,15 +110,29 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--auto-load") {
       o.auto_load = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') o.load_fraction = std::atof(argv[++i]);
-    } else if (a == "--reorder") o.reorder = static_cast<std::uint32_t>(std::atoi(need(i)));
-    else if (a == "--delay") o.delay_ms = std::atoll(need(i));
-    else if (a == "--bloom") o.bloom = true;
+    } else if (a == "--techniques") {
+      std::string err;
+      if (!parse_techniques(need(i), o.techniques, &err)) {
+        std::fprintf(stderr, "bad --techniques: %s\n", err.c_str());
+        return false;
+      }
+    } else if (a == "--reorder") {
+      o.techniques.reorder_threshold = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--delay") {
+      const std::int64_t ms = std::atoll(need(i));
+      o.techniques.delaying_enabled = ms >= 0;
+      o.techniques.fixed_delay = ms > 0 ? sim::msec(ms) : 0;
+    } else if (a == "--bloom") o.techniques.bloom_readsets = true;
     else if (a == "--certified-ro") o.certified_ro = true;
     else if (a == "--checkpoint") o.checkpoint_ms = std::atoll(need(i));
     else if (a == "--vote-batch") {
-      o.vote_batch_us = 0;
-      if (i + 1 < argc && argv[i + 1][0] != '-') o.vote_batch_us = std::atoll(argv[++i]);
-    } else if (a == "--ooo-bypass") o.ooo_bypass = true;
+      o.techniques.vote_batching = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const std::int64_t us = std::atoll(argv[++i]);
+        if (us > 0) o.techniques.vote_batch_interval = sim::usec(us);
+      }
+    } else if (a == "--ooo-bypass") o.techniques.ooo_bypass = true;
+    else if (a == "--speculate") o.techniques.speculation = true;
     else if (a == "--breakdown") o.breakdown = true;
     else if (a == "--seconds") o.seconds = std::atof(need(i));
     else if (a == "--seed") o.seed = std::strtoull(need(i), nullptr, 10);
@@ -147,6 +166,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (o.verbose) util::Logger::instance().set_level(util::LogLevel::kInfo);
+  if (const std::string err = o.techniques.validate(); !err.empty()) {
+    std::fprintf(stderr, "bad technique config: %s\n", err.c_str());
+    return 2;
+  }
 
   const DeploymentSpec::Kind kind = kind_of(o.deployment);
   auto make_spec = [&] {
@@ -154,14 +177,8 @@ int main(int argc, char** argv) {
     spec.kind = kind;
     spec.partitions = o.partitions;
     spec.replicas = o.replicas;
-    spec.server.reorder_threshold = o.reorder;
-    spec.server.delaying_enabled = o.delay_ms >= 0;
-    spec.server.fixed_delay = o.delay_ms > 0 ? sim::msec(o.delay_ms) : 0;
-    spec.server.bloom_readsets = o.bloom;
+    spec.server.techniques = o.techniques;
     spec.server.checkpoint_interval = o.checkpoint_ms > 0 ? sim::msec(o.checkpoint_ms) : 0;
-    spec.server.vote_batching = o.vote_batch_us >= 0;
-    if (o.vote_batch_us > 0) spec.server.vote_batch_interval = sim::usec(o.vote_batch_us);
-    spec.server.ooo_bypass = o.ooo_bypass;
     spec.seed = o.seed;
     if (o.workload == "micro") {
       spec.partitioning = MicroWorkload::make_partitioning(o.partitions, o.items);
@@ -233,9 +250,9 @@ int main(int argc, char** argv) {
   auto wl = make_workload();
   const RunResult r = run_experiment(dep, *wl, cfg);
 
-  std::printf("\n%s / %s: %u partitions x %u replicas, %u clients, %.1fs measured\n",
+  std::printf("\n%s / %s: %u partitions x %u replicas, %u clients, %.1fs measured [%s]\n",
               o.deployment.c_str(), o.workload.c_str(), o.partitions, o.replicas, cfg.clients,
-              o.seconds);
+              o.seconds, format_techniques(o.techniques).c_str());
   std::printf("%-16s %10s %10s %10s %10s %10s\n", "class", "tput(tps)", "p50(ms)", "p99(ms)",
               "avg(ms)", "aborts");
   for (const auto& [cls, st] : r.classes) {
@@ -265,6 +282,13 @@ int main(int argc, char** argv) {
     std::printf("ooo-bypass: bypassed=%llu parked=%llu\n",
                 static_cast<unsigned long long>(r.servers.bypassed_locals),
                 static_cast<unsigned long long>(r.servers.parked_locals));
+  }
+
+  if (r.servers.speculated_globals > 0) {
+    std::printf("speculation: speculated=%llu finalized=%llu rolled-back=%llu\n",
+                static_cast<unsigned long long>(r.servers.speculated_globals),
+                static_cast<unsigned long long>(r.servers.spec_commits),
+                static_cast<unsigned long long>(r.servers.spec_aborts));
   }
 
   if (r.servers.votes_batched + r.servers.votes_piggybacked > 0) {

@@ -34,11 +34,11 @@ import pathlib
 import sys
 
 STAGES = ("submit_net", "ordering", "cert_queue", "execution", "lane_exec",
-          "commit_wait", "reply_net")
+          "commit_wait", "spec_window", "reply_net")
 
 # Lifecycle marks (exported as "i" instants) that define a chain.
 CHAIN_POINTS = ("tx.submit", "tx.handle", "tx.deliver", "tx.certified",
-                "tx.ready", "tx.completed", "tx.outcome")
+                "tx.ready", "tx.speculated", "tx.completed", "tx.outcome")
 
 
 def aux_committed(aux):
@@ -55,11 +55,12 @@ def aux_cost(aux):
 
 class Chain:
     __slots__ = ("submit", "handle", "outcome", "deliver", "certified",
-                 "ready", "completed", "aux", "tid")
+                 "ready", "speculated", "completed", "aux", "tid")
 
     def __init__(self):
         self.submit = self.handle = self.outcome = None
         self.deliver = self.certified = self.ready = self.completed = None
+        self.speculated = None
         self.aux = 0
         self.tid = None
 
@@ -85,7 +86,8 @@ def build_breakdown(events):
             c.tid = e["tid"]
     # Pass 2: the contact replica's delivery-side marks (first each).
     for e in events:
-        if e.get("ph") != "i" or e.get("name") not in ("tx.deliver", "tx.certified", "tx.ready"):
+        if e.get("ph") != "i" or e.get("name") not in ("tx.deliver", "tx.certified",
+                                                       "tx.ready", "tx.speculated"):
             continue
         c = chains.get(e["args"]["id"])
         if c is None or c.tid != e["tid"]:
@@ -98,6 +100,8 @@ def build_breakdown(events):
             c.aux = e["args"]["aux"]
         elif name == "tx.ready" and c.ready is None:
             c.ready = ts
+        elif name == "tx.speculated" and c.speculated is None:
+            c.speculated = ts
 
     out = {cls: {"chains": 0, "e2e": 0.0,
                  "stage": {s: 0.0 for s in STAGES}} for cls in ("local", "global")}
@@ -109,13 +113,17 @@ def build_breakdown(events):
         cost = aux_cost(c.aux)
         work_start = c.certified - cost
         ready = c.ready if c.ready is not None else c.certified
+        # A chain that never speculated has an empty spec_window (the
+        # stages keep telescoping either way) — mirrors export.cpp.
+        spec = c.speculated if c.speculated is not None else c.completed
         stages = {
             "submit_net": c.handle - c.submit,
             "ordering": c.deliver - c.handle,
             "cert_queue": work_start - c.deliver,
             "execution": cost,
             "lane_exec": ready - c.certified,
-            "commit_wait": c.completed - ready,
+            "commit_wait": spec - ready,
+            "spec_window": c.completed - spec,
             "reply_net": c.outcome - c.completed,
         }
         if any(v < 0 for v in stages.values()):
